@@ -1,0 +1,79 @@
+// Command adrias-bench regenerates the paper's tables and figures on the
+// simulated testbed and prints paper-vs-measured reports with shape checks.
+//
+// Usage:
+//
+//	adrias-bench [-scale fast|medium|paper] [-run id[,id...]] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"adrias/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "medium", "campaign scale: fast, medium, or paper")
+	runFlag := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	listFlag := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *listFlag {
+		for _, d := range experiments.All() {
+			fmt.Printf("%-8s %s\n", d.ID, d.Title)
+		}
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "fast":
+		scale = experiments.Fast()
+	case "medium":
+		scale = experiments.Medium()
+	case "paper":
+		scale = experiments.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	var ds []experiments.Descriptor
+	if *runFlag == "" {
+		ds = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runFlag, ",") {
+			d, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			ds = append(ds, d)
+		}
+	}
+
+	suite := experiments.NewSuite(scale)
+	failed := 0
+	for _, d := range ds {
+		start := time.Now()
+		rep, err := d.Run(suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", d.ID, err)
+			failed++
+			continue
+		}
+		fmt.Print(rep.Render())
+		fmt.Printf("  (%s, %.1fs)\n\n", scale.Name, time.Since(start).Seconds())
+		if !rep.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) with failed checks\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,59 @@
+// Command adrias-train runs the offline phase — interference-aware trace
+// collection, signature capture, and training of the system-state and
+// performance models — and persists the result for adriasd or library
+// users.
+//
+// Usage:
+//
+//	adrias-train [-scale fast|paper] [-out dir] [-eval]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adrias"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "fast", "training scale: fast or paper")
+	outFlag := flag.String("out", "models", "output directory for model files")
+	evalFlag := flag.Bool("eval", true, "print held-out accuracy after training")
+	flag.Parse()
+
+	var opts adrias.Options
+	switch *scaleFlag {
+	case "fast":
+		opts = adrias.FastOptions()
+	case "paper":
+		opts = adrias.PaperOptions()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	fmt.Printf("running offline phase (%s scale: %d scenarios)...\n",
+		*scaleFlag, len(opts.Corpus.Configs()))
+	sys, err := adrias.Train(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("trained in %.1fs: %d windows, %d signatures\n",
+		time.Since(start).Seconds(), len(sys.Windows), len(sys.Pred.Sigs.Names()))
+
+	if *evalFlag {
+		ev := sys.Pred.Sys.Evaluate(sys.Windows, sys.TestIdx)
+		fmt.Printf("system-state model held-out R²: %.4f (per-metric %v)\n",
+			ev.R2Avg, ev.R2PerMetric)
+	}
+
+	if err := sys.SaveModels(*outFlag); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("models written to %s/\n", *outFlag)
+}

@@ -1,0 +1,74 @@
+// Command adrias-watch tails an adriasd bus over TCP, printing Watcher
+// samples and Orchestrator decisions as they are published — the
+// observer-side counterpart of the paper's ZeroMQ topology.
+//
+// Usage:
+//
+//	adrias-watch [-addr 127.0.0.1:7601] [-topics watcher.samples,orchestrator.decisions] [-n max]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"adrias/internal/bus"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7601", "adriasd bus address")
+	topics := flag.String("topics", "watcher.samples,orchestrator.decisions", "comma-separated topics")
+	max := flag.Int("n", 0, "exit after this many messages (0 = run until the bus closes)")
+	flag.Parse()
+
+	cli, err := bus.Dial(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer cli.Close()
+
+	var mu sync.Mutex
+	count := 0
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, topic := range strings.Split(*topics, ",") {
+		topic = strings.TrimSpace(topic)
+		ch, err := cli.Subscribe(topic)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("subscribed to %s\n", topic)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for m := range ch {
+				mu.Lock()
+				fmt.Printf("[%s] %s\n", m.Topic, string(m.Payload))
+				count++
+				if *max > 0 && count >= *max {
+					mu.Unlock()
+					select {
+					case <-done:
+					default:
+						close(done)
+					}
+					return
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		select {
+		case <-done:
+		default:
+			close(done)
+		}
+	}()
+	<-done
+}

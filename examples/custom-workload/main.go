@@ -1,0 +1,74 @@
+// Bringing your own workload: define a custom application profile, let
+// Adrias cold-start it (deploy on remote, capture its signature in situ —
+// the paper's rule for unknown applications), then watch subsequent
+// deployments use learned predictions.
+//
+//	go run ./examples/custom-workload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adrias"
+	"adrias/internal/cluster"
+	"adrias/internal/memsys"
+	"adrias/internal/workload"
+)
+
+func main() {
+	fmt.Println("training Adrias (fast options)...")
+	sys, err := adrias.Train(adrias.FastOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A custom in-memory graph-processing job: moderately cache-sensitive,
+	// bandwidth-hungry, with a meaningful remote penalty.
+	custom := &workload.Profile{
+		Name:             "graphburst",
+		Class:            workload.BestEffort,
+		BaseExecSec:      45,
+		CPUCores:         6,
+		WorkingSetMB:     14,
+		LocalBwBps:       1.5e9,
+		RemoteBwBps:      0.06e9,
+		MissRatioIso:     0.4,
+		WriteFraction:    0.3,
+		CacheSens:        0.6,
+		BwSens:           0.7,
+		RemotePenaltyIso: 1.25,
+		InterfSens:       1,
+	}
+	if err := custom.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	orch := sys.Orchestrator(0.8)
+	c := cluster.New(cluster.DefaultConfig())
+
+	// Warm the monitoring window with background load.
+	c.Deploy(sys.Registry.ByName("redis"), memsys.TierLocal)
+	c.Deploy(sys.Registry.ByName("kmeans"), memsys.TierLocal)
+	c.Run(float64(sys.Watch.HistTicks) + 10)
+
+	// First arrival: unknown signature → cold start on remote + capture.
+	tier := orch.Decide(custom, c)
+	fmt.Printf("first deployment of %q → %s (cold start: %v)\n",
+		custom.Name, tier, orch.Decisions[len(orch.Decisions)-1].ColdStart)
+	in := c.Deploy(custom, tier)
+	for !in.Done() {
+		c.Run(c.Now() + 60)
+	}
+	orch.OnComplete(in, c)
+	fmt.Printf("completed in %.1f s; signature captured: %v\n",
+		in.ExecTime(c.Now()), sys.Pred.Sigs.Has(custom.Name))
+
+	// Second arrival: Adrias now predicts both tiers.
+	tier = orch.Decide(custom, c)
+	d := orch.Decisions[len(orch.Decisions)-1]
+	fmt.Printf("second deployment → %s (t̂_local %.1f s, t̂_remote %.1f s, β=%.1f)\n",
+		tier, d.PredLocal, d.PredRem, orch.Beta)
+	fmt.Println("\nnote: predictions for never-trained applications are rough (paper Fig. 15) —")
+	fmt.Println("the paper's remedy is continuous signature collection and periodic retraining")
+}

@@ -1,0 +1,72 @@
+// QoS-guarded offloading of latency-critical stores: Adrias offloads Redis
+// and Memcached onto disaggregated memory only when the predicted 99th
+// percentile respects the QoS constraint — the paper's Fig. 17 logic as a
+// library walkthrough.
+//
+//	go run ./examples/latency-critical
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adrias"
+	"adrias/internal/core"
+	"adrias/internal/workload"
+)
+
+func main() {
+	fmt.Println("training Adrias (fast options)...")
+	sys, err := adrias.Train(adrias.FastOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sweep QoS strictness: multiples of each store's unloaded median.
+	// Loose constraints admit remote placement; strict ones force local.
+	// The all-local column shows how many violations the environment alone
+	// causes — Adrias should stay close to it while offloading.
+	type outcome struct{ offload, total, violations int }
+	run := func(sched adrias.Scheduler, qos map[string]float64) outcome {
+		var o outcome
+		for i := int64(0); i < 2; i++ {
+			cfg := adrias.ScenarioConfig{
+				Seed: 7700 + i, DurationSec: 900, SpawnMin: 5, SpawnMax: 20,
+				IBenchShare: 0.3, LCShare: 0.5, KeepHistory: true,
+			}
+			// Identical seeded interference placement for every scheduler.
+			res, err := sys.RunScenario(cfg, adrias.WithRandomInterference(sched, 200+i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, r := range res.Runs {
+				if r.Class != workload.LatencyCritical {
+					continue
+				}
+				o.total++
+				if r.Tier == adrias.TierRemote {
+					o.offload++
+				}
+				if r.P99Ms > qos[r.Name] {
+					o.violations++
+				}
+			}
+		}
+		return o
+	}
+
+	fmt.Printf("\n%-24s %12s %14s %18s\n", "QoS level", "offloaded", "violations", "all-local viol.")
+	for _, mult := range []float64{40, 20, 10, 5, 2} {
+		qos := map[string]float64{}
+		orch := sys.Orchestrator(0.8)
+		for _, p := range sys.Registry.LC() {
+			qos[p.Name] = p.BaseP50Ms * mult
+			orch.QoSMs[p.Name] = qos[p.Name]
+		}
+		adr := run(orch, qos)
+		base := run(core.AllLocal{}, qos)
+		fmt.Printf("%2.0f× unloaded median %17d/%-2d %11d %18d\n",
+			mult, adr.offload, adr.total, adr.violations, base.violations)
+	}
+	fmt.Println("\nstricter QoS → fewer offloads (paper Fig. 17); violations track the all-local baseline")
+}

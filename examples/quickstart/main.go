@@ -1,0 +1,59 @@
+// Quickstart: train a fast Adrias deployment, then watch it place a stream
+// of applications between local and remote (disaggregated) memory.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adrias"
+)
+
+func main() {
+	// The offline phase: randomized trace collection on the simulated
+	// ThymesisFlow testbed, signature capture, LSTM training. FastOptions
+	// keeps it to a few seconds; PaperOptions runs the full 72-scenario
+	// campaign.
+	fmt.Println("training Adrias (fast options)...")
+	sys, err := adrias.Train(adrias.FastOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The online phase: an orchestrator with β = 0.8 — willing to trade up
+	// to 20% best-effort performance for disaggregated-memory utilization —
+	// and loose QoS targets for the latency-critical stores.
+	orch := sys.Orchestrator(0.8)
+	for _, p := range sys.Registry.LC() {
+		orch.QoSMs[p.Name] = p.BaseP50Ms * 20
+	}
+
+	cfg := adrias.ScenarioConfig{
+		Seed:        42,
+		DurationSec: 600, // 10 simulated minutes of arrivals
+		SpawnMin:    5,
+		SpawnMax:    25,
+		IBenchShare: 0.3, // background interference
+		KeepHistory: true,
+	}
+	res, err := sys.RunScenario(cfg, adrias.WithRandomInterference(orch, cfg.Seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-12s %-6s %-8s %12s\n", "app", "class", "tier", "exec/p99")
+	for _, run := range res.Runs {
+		perf := fmt.Sprintf("%.1f s", run.ExecTime)
+		if run.P99Ms > 0 {
+			perf = fmt.Sprintf("%.2f ms", run.P99Ms)
+		}
+		fmt.Printf("%-12s %-6s %-8s %12s\n", run.Name, run.Class, run.Tier, perf)
+	}
+
+	stats := orch.Stats()
+	fmt.Printf("\ndecisions: %d total, %d offloaded to remote, %d cold starts\n",
+		stats.Total, stats.Remote, stats.Cold)
+	fmt.Printf("fabric traffic: %.2f GB\n", res.FabricBytes/1e9)
+}

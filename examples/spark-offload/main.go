@@ -1,0 +1,85 @@
+// Spark offloading under the β-slack rule: sweep β and watch Adrias trade
+// best-effort performance for disaggregated-memory utilization — the
+// experiment behind the paper's Fig. 16, as a library walkthrough.
+//
+//	go run ./examples/spark-offload
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"adrias"
+	"adrias/internal/core"
+)
+
+func main() {
+	fmt.Println("training Adrias (fast options)...")
+	sys, err := adrias.Train(adrias.FastOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(sched adrias.Scheduler) (medByApp map[string]float64, offload float64) {
+		execs := map[string][]float64{}
+		var local, remote int
+		for i := int64(0); i < 2; i++ {
+			cfg := adrias.ScenarioConfig{
+				Seed: 900 + i, DurationSec: 900, SpawnMin: 5, SpawnMax: 25,
+				IBenchShare: 0.3, KeepHistory: true,
+			}
+			// Identical seeded interference placement for every scheduler.
+			res, err := sys.RunScenario(cfg, adrias.WithRandomInterference(sched, 100+i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, r := range res.Runs {
+				if r.Class.String() != "BE" {
+					continue
+				}
+				execs[r.Name] = append(execs[r.Name], r.ExecTime)
+				if r.Tier == adrias.TierRemote {
+					remote++
+				} else {
+					local++
+				}
+			}
+		}
+		medByApp = map[string]float64{}
+		for app, v := range execs {
+			sort.Float64s(v)
+			medByApp[app] = v[len(v)/2]
+		}
+		if local+remote > 0 {
+			offload = float64(remote) / float64(local+remote)
+		}
+		return medByApp, offload
+	}
+
+	baseline, _ := run(core.AllLocal{})
+
+	fmt.Printf("\n%-8s %10s %16s\n", "β", "offload", "Δ median (avg)")
+	for _, beta := range []float64{1.0, 0.9, 0.8, 0.7, 0.6} {
+		orch := sys.Orchestrator(beta)
+		for _, p := range sys.Registry.LC() {
+			orch.QoSMs[p.Name] = p.BaseP50Ms * 20
+		}
+		med, offload := run(orch)
+		var drops []float64
+		for app, m := range med {
+			if b, ok := baseline[app]; ok && b > 0 {
+				drops = append(drops, m/b-1)
+			}
+		}
+		var avg float64
+		for _, d := range drops {
+			avg += d
+		}
+		if len(drops) > 0 {
+			avg /= float64(len(drops))
+		}
+		fmt.Printf("%-8.1f %9.1f%% %+15.1f%%\n", beta, offload*100, avg*100)
+	}
+	fmt.Println("\nlower β → more offloading at higher performance cost (paper Fig. 16)")
+}

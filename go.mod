@@ -1,0 +1,3 @@
+module adrias
+
+go 1.22

@@ -1,0 +1,124 @@
+// Package bus is a small topic-based publish/subscribe message bus standing
+// in for the ZeroMQ layer the paper's implementation uses to connect the
+// Watcher, Predictor and Orchestrator components. It offers an in-process
+// bus for single-binary deployments and a TCP transport (length-prefixed
+// JSON frames over net) for distributing the components across processes,
+// mirroring the paper's multi-node scalability discussion (§VII).
+package bus
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Message is one published datum.
+type Message struct {
+	Topic   string          `json:"topic"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Decode unmarshals the payload into v.
+func (m Message) Decode(v any) error { return json.Unmarshal(m.Payload, v) }
+
+// Bus is an in-process topic bus. The zero value is not usable; construct
+// with New. Safe for concurrent use.
+type Bus struct {
+	mu     sync.RWMutex
+	subs   map[string]map[int]chan Message
+	nextID int
+	closed bool
+	// Buffer is the per-subscriber channel depth; publishes to a full
+	// subscriber are dropped rather than blocking the publisher (monitoring
+	// data is perishable). Set before the first Subscribe.
+	Buffer int
+}
+
+// New returns an empty bus with the default buffer depth.
+func New() *Bus {
+	return &Bus{subs: make(map[string]map[int]chan Message), Buffer: 64}
+}
+
+// Subscribe registers interest in a topic and returns the delivery channel
+// plus an unsubscribe function. The channel is closed on unsubscribe or bus
+// Close.
+func (b *Bus) Subscribe(topic string) (<-chan Message, func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		ch := make(chan Message)
+		close(ch)
+		return ch, func() {}
+	}
+	if b.subs[topic] == nil {
+		b.subs[topic] = make(map[int]chan Message)
+	}
+	id := b.nextID
+	b.nextID++
+	ch := make(chan Message, b.Buffer)
+	b.subs[topic][id] = ch
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			if m := b.subs[topic]; m != nil {
+				if c, ok := m[id]; ok {
+					delete(m, id)
+					close(c)
+				}
+			}
+		})
+	}
+	return ch, cancel
+}
+
+// Publish JSON-encodes payload and delivers it to every subscriber of the
+// topic. Subscribers whose buffers are full miss the message (monitoring
+// samples are perishable; slow consumers must not stall the system).
+// It returns the number of subscribers that received the message.
+func (b *Bus) Publish(topic string, payload any) (int, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return 0, fmt.Errorf("bus: encoding payload for %q: %w", topic, err)
+	}
+	msg := Message{Topic: topic, Payload: raw}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return 0, fmt.Errorf("bus: publish on closed bus")
+	}
+	delivered := 0
+	for _, ch := range b.subs[topic] {
+		select {
+		case ch <- msg:
+			delivered++
+		default:
+		}
+	}
+	return delivered, nil
+}
+
+// Close shuts the bus down, closing all subscriber channels.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, m := range b.subs {
+		for id, ch := range m {
+			delete(m, id)
+			close(ch)
+		}
+	}
+}
+
+// SubscriberCount returns the number of active subscriptions for a topic.
+func (b *Bus) SubscriberCount(topic string) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.subs[topic])
+}

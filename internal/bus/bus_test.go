@@ -1,0 +1,274 @@
+package bus
+
+import (
+	"testing"
+	"time"
+)
+
+type sample struct {
+	LLCLoads float64 `json:"llc_loads"`
+	Tick     int     `json:"tick"`
+}
+
+func recv(t *testing.T, ch <-chan Message) Message {
+	t.Helper()
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			t.Fatal("channel closed")
+		}
+		return m
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout waiting for message")
+		return Message{}
+	}
+}
+
+func TestPublishSubscribe(t *testing.T) {
+	b := New()
+	ch, cancel := b.Subscribe("metrics")
+	defer cancel()
+	n, err := b.Publish("metrics", sample{LLCLoads: 42, Tick: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("delivered to %d, want 1", n)
+	}
+	m := recv(t, ch)
+	var s sample
+	if err := m.Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.LLCLoads != 42 || s.Tick != 7 {
+		t.Errorf("decoded %+v", s)
+	}
+}
+
+func TestTopicIsolation(t *testing.T) {
+	b := New()
+	a, cancelA := b.Subscribe("a")
+	defer cancelA()
+	_, cancelB := b.Subscribe("b")
+	defer cancelB()
+	b.Publish("b", 1)
+	select {
+	case <-a:
+		t.Fatal("topic a received topic b's message")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestMultipleSubscribers(t *testing.T) {
+	b := New()
+	ch1, c1 := b.Subscribe("t")
+	defer c1()
+	ch2, c2 := b.Subscribe("t")
+	defer c2()
+	n, _ := b.Publish("t", "x")
+	if n != 2 {
+		t.Errorf("delivered %d, want 2", n)
+	}
+	recv(t, ch1)
+	recv(t, ch2)
+}
+
+func TestUnsubscribe(t *testing.T) {
+	b := New()
+	ch, cancel := b.Subscribe("t")
+	cancel()
+	cancel() // idempotent
+	if _, ok := <-ch; ok {
+		t.Error("channel should be closed after unsubscribe")
+	}
+	if n, _ := b.Publish("t", 1); n != 0 {
+		t.Errorf("delivered %d after unsubscribe", n)
+	}
+	if b.SubscriberCount("t") != 0 {
+		t.Error("subscriber count should be 0")
+	}
+}
+
+func TestSlowSubscriberDoesNotBlock(t *testing.T) {
+	b := New()
+	b.Buffer = 2
+	_, cancel := b.Subscribe("t")
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			b.Publish("t", i)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publisher blocked on slow subscriber")
+	}
+}
+
+func TestClose(t *testing.T) {
+	b := New()
+	ch, _ := b.Subscribe("t")
+	b.Close()
+	b.Close() // idempotent
+	if _, ok := <-ch; ok {
+		t.Error("subscriber channel should close on bus close")
+	}
+	if _, err := b.Publish("t", 1); err == nil {
+		t.Error("publish on closed bus should error")
+	}
+	ch2, cancel := b.Subscribe("t")
+	defer cancel()
+	if _, ok := <-ch2; ok {
+		t.Error("subscribe on closed bus should return closed channel")
+	}
+}
+
+func TestPublishEncodingError(t *testing.T) {
+	b := New()
+	if _, err := b.Publish("t", make(chan int)); err == nil {
+		t.Error("expected encoding error")
+	}
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	b := New()
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ch, err := cli.Subscribe("metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subscription registration races the publish; retry until delivered.
+	deadline := time.Now().Add(2 * time.Second)
+	var got Message
+loop:
+	for time.Now().Before(deadline) {
+		b.Publish("metrics", sample{LLCLoads: 9, Tick: 3})
+		select {
+		case got = <-ch:
+			break loop
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	var s sample
+	if err := got.Decode(&s); err != nil {
+		t.Fatalf("no message delivered over TCP: %v", err)
+	}
+	if s.LLCLoads != 9 {
+		t.Errorf("decoded %+v", s)
+	}
+}
+
+func TestTCPMultipleClientsAndTopics(t *testing.T) {
+	b := New()
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c1, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	chA, _ := c1.Subscribe("a")
+	chB, _ := c2.Subscribe("b")
+
+	deadline := time.Now().Add(2 * time.Second)
+	gotA, gotB := false, false
+	for time.Now().Before(deadline) && !(gotA && gotB) {
+		if !gotA {
+			b.Publish("a", 1)
+		}
+		if !gotB {
+			b.Publish("b", 2)
+		}
+		select {
+		case <-chA:
+			gotA = true
+		case <-chB:
+			gotB = true
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if !gotA || !gotB {
+		t.Errorf("deliveries: a=%v b=%v", gotA, gotB)
+	}
+	// Cross-delivery check: topic a must not reach the b-subscriber.
+	select {
+	case m := <-chB:
+		if m.Topic != "b" {
+			t.Errorf("client 2 received topic %q", m.Topic)
+		}
+	default:
+	}
+}
+
+func TestTCPClientCloseClosesChannels(t *testing.T) {
+	b := New()
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := cli.Subscribe("t")
+	cli.Close()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Error("expected closed channel")
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("channel not closed after client close")
+	}
+	if _, err := cli.Subscribe("x"); err == nil {
+		t.Error("subscribe after close should error")
+	}
+}
+
+func TestServerCloseDisconnectsClients(t *testing.T) {
+	b := New()
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ch, _ := cli.Subscribe("t")
+	srv.Close()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Error("expected channel close after server shutdown")
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("client did not observe server shutdown")
+	}
+}

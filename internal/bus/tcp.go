@@ -1,0 +1,264 @@
+package bus
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The TCP wire protocol: each frame is a 4-byte big-endian length followed
+// by a JSON document. Client → server frames are control requests
+// ({"op":"sub","topic":...}); server → client frames are Messages.
+
+const maxFrame = 16 << 20 // 16 MiB sanity cap
+
+type controlFrame struct {
+	Op    string `json:"op"` // "sub" or "unsub"
+	Topic string `json:"topic"`
+}
+
+func writeFrame(w io.Writer, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(raw)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(raw)
+	return err
+}
+
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("bus: frame of %d bytes exceeds cap", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf, v)
+}
+
+// Server bridges an in-process Bus onto a TCP listener: every message
+// published on the bus is forwarded to connected clients that subscribed to
+// its topic.
+type Server struct {
+	bus *Bus
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// NewServer starts serving the given bus on addr (e.g. "127.0.0.1:0").
+func NewServer(b *Bus, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("bus: listen %s: %w", addr, err)
+	}
+	s := &Server{bus: b, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and disconnects all clients.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	var mu sync.Mutex // serializes writes to conn
+	w := bufio.NewWriter(conn)
+	send := func(m Message) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if err := writeFrame(w, m); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+
+	// Defers run LIFO: the pump wait must be registered first so the
+	// cancels (which close the pump channels) run before it.
+	var pumps sync.WaitGroup
+	defer pumps.Wait()
+	cancels := make(map[string]func())
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	r := bufio.NewReader(conn)
+	for {
+		var cf controlFrame
+		if err := readFrame(r, &cf); err != nil {
+			return
+		}
+		switch cf.Op {
+		case "sub":
+			if _, dup := cancels[cf.Topic]; dup {
+				continue
+			}
+			ch, cancel := s.bus.Subscribe(cf.Topic)
+			cancels[cf.Topic] = cancel
+			pumps.Add(1)
+			go func() {
+				defer pumps.Done()
+				for m := range ch {
+					if err := send(m); err != nil {
+						conn.Close()
+						return
+					}
+				}
+			}()
+		case "unsub":
+			if cancel, ok := cancels[cf.Topic]; ok {
+				cancel()
+				delete(cancels, cf.Topic)
+			}
+		}
+	}
+}
+
+// Client is a TCP subscriber to a remote bus Server.
+type Client struct {
+	conn net.Conn
+	enc  *bufio.Writer
+	mu   sync.Mutex
+
+	subMu  sync.Mutex
+	subs   map[string]chan Message
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Dial connects to a bus server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("bus: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, enc: bufio.NewWriter(conn), subs: make(map[string]chan Message)}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	r := bufio.NewReader(c.conn)
+	for {
+		var m Message
+		if err := readFrame(r, &m); err != nil {
+			c.subMu.Lock()
+			c.closed = true
+			for t, ch := range c.subs {
+				delete(c.subs, t)
+				close(ch)
+			}
+			c.subMu.Unlock()
+			return
+		}
+		c.subMu.Lock()
+		ch := c.subs[m.Topic]
+		c.subMu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- m:
+			default: // perishable, as on the in-process bus
+			}
+		}
+	}
+}
+
+func (c *Client) sendControl(op, topic string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.enc, controlFrame{Op: op, Topic: topic}); err != nil {
+		return err
+	}
+	return c.enc.Flush()
+}
+
+// Subscribe asks the server for a topic and returns the delivery channel.
+// Subscribing twice to one topic returns the same channel.
+func (c *Client) Subscribe(topic string) (<-chan Message, error) {
+	c.subMu.Lock()
+	if c.closed {
+		c.subMu.Unlock()
+		return nil, fmt.Errorf("bus: client closed")
+	}
+	if ch, ok := c.subs[topic]; ok {
+		c.subMu.Unlock()
+		return ch, nil
+	}
+	ch := make(chan Message, 64)
+	c.subs[topic] = ch
+	c.subMu.Unlock()
+	if err := c.sendControl("sub", topic); err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Close disconnects the client; all subscription channels are closed.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"adrias/internal/cluster"
+	"adrias/internal/memsys"
+	"adrias/internal/workload"
+)
+
+// Decision records one orchestration decision for later analysis.
+type Decision struct {
+	App       string
+	Class     workload.Class
+	Tier      memsys.Tier
+	PredLocal float64 // predicted perf on local (0 when not predicted)
+	PredRem   float64 // predicted perf on remote
+	ColdStart bool    // true when the app had no signature yet
+	Fallback  bool    // true when prediction failed and the safe default won
+}
+
+// Orchestrator is the Adrias scheduler (paper §V-C). For best-effort
+// applications it picks local memory iff
+//
+//	t̂_local < β · t̂_remote
+//
+// where β is the slack parameter; for latency-critical applications it
+// offloads iff the predicted 99th percentile on remote respects the QoS
+// constraint. Unknown applications (no signature) are deployed on remote
+// memory and their metrics captured — the paper's cold-start rule.
+type Orchestrator struct {
+	Pred    *Predictor
+	Watch   *Watcher
+	Beta    float64            // BE slack (paper sweeps 1.0 … 0.6)
+	QoSMs   map[string]float64 // per-LC-app p99 constraint, milliseconds
+	Capture bool               // capture signatures of first-seen apps
+
+	Decisions []Decision
+}
+
+// NewOrchestrator builds the Adrias scheduler.
+func NewOrchestrator(pred *Predictor, watch *Watcher, beta float64) *Orchestrator {
+	if beta <= 0 {
+		panic(fmt.Sprintf("core: beta %g must be positive", beta))
+	}
+	return &Orchestrator{
+		Pred:    pred,
+		Watch:   watch,
+		Beta:    beta,
+		QoSMs:   make(map[string]float64),
+		Capture: true,
+	}
+}
+
+// Name implements Scheduler.
+func (o *Orchestrator) Name() string { return fmt.Sprintf("adrias(β=%g)", o.Beta) }
+
+// Decide implements Scheduler.
+func (o *Orchestrator) Decide(p *workload.Profile, c *cluster.Cluster) memsys.Tier {
+	d := Decision{App: p.Name, Class: p.Class}
+
+	// Cold start: unknown signature → deploy remote, capture metrics.
+	if !o.Pred.Sigs.Has(p.Name) {
+		d.Tier = memsys.TierRemote
+		if !c.CanFit(p, memsys.TierRemote) {
+			d.Tier = memsys.TierLocal
+			d.Fallback = true
+		}
+		d.ColdStart = true
+		o.Decisions = append(o.Decisions, d)
+		return d.Tier
+	}
+
+	window := o.Watch.Window(c)
+	if window == nil {
+		// Not enough monitoring history yet: default to the safe tier.
+		d.Tier = memsys.TierLocal
+		d.Fallback = true
+		o.Decisions = append(o.Decisions, d)
+		return d.Tier
+	}
+
+	class := ClassBE
+	if p.Class == workload.LatencyCritical {
+		class = ClassLC
+	}
+
+	switch class {
+	case ClassBE:
+		local, errL := o.Pred.PredictPerf(p.Name, class, window, memsys.TierLocal)
+		remote, errR := o.Pred.PredictPerf(p.Name, class, window, memsys.TierRemote)
+		if errL != nil || errR != nil {
+			d.Tier = memsys.TierLocal
+			d.Fallback = true
+			break
+		}
+		d.PredLocal, d.PredRem = local, remote
+		d.Tier = DecideBE(o.Beta, local, remote)
+	case ClassLC:
+		remote, err := o.Pred.PredictPerf(p.Name, class, window, memsys.TierRemote)
+		if err != nil {
+			d.Tier = memsys.TierLocal
+			d.Fallback = true
+			break
+		}
+		d.PredRem = remote
+		qos, ok := o.QoSMs[p.Name]
+		d.Tier = DecideLC(qos, ok, remote)
+	}
+	// A remote verdict against a full pool degrades to local (the cluster
+	// would redirect anyway; deciding here keeps the bookkeeping honest).
+	if d.Tier == memsys.TierRemote && !c.CanFit(p, memsys.TierRemote) {
+		d.Tier = memsys.TierLocal
+		d.Fallback = true
+	}
+	o.Decisions = append(o.Decisions, d)
+	return d.Tier
+}
+
+// DecideBE applies the paper's best-effort rule: local iff
+// t̂_local < β · t̂_remote, remote otherwise.
+func DecideBE(beta, predLocal, predRemote float64) memsys.Tier {
+	if predLocal < beta*predRemote {
+		return memsys.TierLocal
+	}
+	return memsys.TierRemote
+}
+
+// DecideLC applies the paper's latency-critical rule: remote iff the
+// predicted 99th percentile respects the QoS constraint. Without a
+// constraint the safe local tier wins.
+func DecideLC(qosMs float64, hasQoS bool, predRemoteP99 float64) memsys.Tier {
+	if hasQoS && predRemoteP99 <= qosMs {
+		return memsys.TierRemote
+	}
+	return memsys.TierLocal
+}
+
+// OnComplete captures the signature of a cold-started application from its
+// in-situ run, fulfilling the paper's "captures and stores the respective
+// metrics" step. Wire it into scenario.Config.OnComplete.
+func (o *Orchestrator) OnComplete(in *workload.Instance, c *cluster.Cluster) {
+	if !o.Capture || o.Pred.Sigs.Has(in.Profile.Name) {
+		return
+	}
+	if in.Tier != memsys.TierRemote || in.Profile.Class == workload.Interference {
+		return
+	}
+	trace := o.Watch.TraceBetween(c, in.StartAt, in.DoneAt)
+	if len(trace) == 0 {
+		return
+	}
+	// Best effort: an unstorable trace just leaves the app cold.
+	_ = o.Pred.Sigs.Put(in.Profile.Name, trace)
+}
+
+// OffloadStats summarizes the orchestrator's decisions.
+type OffloadStats struct {
+	Total, Remote, Cold, Fallback int
+}
+
+// Stats computes summary statistics over recorded decisions.
+func (o *Orchestrator) Stats() OffloadStats {
+	var s OffloadStats
+	for _, d := range o.Decisions {
+		s.Total++
+		if d.Tier == memsys.TierRemote {
+			s.Remote++
+		}
+		if d.ColdStart {
+			s.Cold++
+		}
+		if d.Fallback {
+			s.Fallback++
+		}
+	}
+	return s
+}

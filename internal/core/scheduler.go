@@ -1,0 +1,110 @@
+package core
+
+import (
+	"adrias/internal/cluster"
+	"adrias/internal/memsys"
+	"adrias/internal/randutil"
+	"adrias/internal/workload"
+)
+
+// Scheduler decides the memory tier for each arriving application. The
+// paper evaluates Adrias against Random, Round-Robin and All-Local (§VI-B).
+type Scheduler interface {
+	Name() string
+	Decide(p *workload.Profile, c *cluster.Cluster) memsys.Tier
+}
+
+// Random places each application on a uniformly random tier.
+type Random struct {
+	rng *randutil.Source
+}
+
+// NewRandom builds a Random scheduler with its own seeded stream.
+func NewRandom(seed int64) *Random { return &Random{rng: randutil.New(seed)} }
+
+// Name implements Scheduler.
+func (*Random) Name() string { return "random" }
+
+// Decide implements Scheduler.
+func (r *Random) Decide(*workload.Profile, *cluster.Cluster) memsys.Tier {
+	if r.rng.Bernoulli(0.5) {
+		return memsys.TierRemote
+	}
+	return memsys.TierLocal
+}
+
+// RoundRobin alternates local and remote placements.
+type RoundRobin struct {
+	next memsys.Tier
+}
+
+// NewRoundRobin builds a RoundRobin scheduler starting with local.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{next: memsys.TierLocal} }
+
+// Name implements Scheduler.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Decide implements Scheduler.
+func (rr *RoundRobin) Decide(*workload.Profile, *cluster.Cluster) memsys.Tier {
+	t := rr.next
+	if t == memsys.TierLocal {
+		rr.next = memsys.TierRemote
+	} else {
+		rr.next = memsys.TierLocal
+	}
+	return t
+}
+
+// AllLocal places everything on local DRAM — the conventional baseline.
+type AllLocal struct{}
+
+// Name implements Scheduler.
+func (AllLocal) Name() string { return "all-local" }
+
+// Decide implements Scheduler.
+func (AllLocal) Decide(*workload.Profile, *cluster.Cluster) memsys.Tier {
+	return memsys.TierLocal
+}
+
+// RandomInterference wraps a scheduler so that iBench interference
+// arrivals are placed by a seeded coin flip while examined applications go
+// through the wrapped scheduler. The paper's iBench deployments are load
+// generation, not orchestration targets; without this, an orchestrator
+// cold-starts every (signature-less) microbenchmark onto remote memory and
+// the accumulated hogs saturate the fabric. Using the same seed across
+// schedulers also makes comparisons face identical interference.
+type RandomInterference struct {
+	Sched Scheduler
+	rng   *randutil.Source
+}
+
+// NewRandomInterference wraps sched with seeded random iBench placement.
+func NewRandomInterference(sched Scheduler, seed int64) *RandomInterference {
+	return &RandomInterference{Sched: sched, rng: randutil.New(seed)}
+}
+
+// Name implements Scheduler.
+func (r *RandomInterference) Name() string { return r.Sched.Name() }
+
+// Decide implements Scheduler.
+func (r *RandomInterference) Decide(p *workload.Profile, c *cluster.Cluster) memsys.Tier {
+	if p.Class == workload.Interference {
+		if r.rng.Bernoulli(0.5) {
+			return memsys.TierRemote
+		}
+		return memsys.TierLocal
+	}
+	return r.Sched.Decide(p, c)
+}
+
+// AllRemote places everything on disaggregated memory (used by the
+// characterization experiments, not a paper baseline).
+type AllRemote struct{}
+
+// Name implements Scheduler.
+func (AllRemote) Name() string { return "all-remote" }
+
+// Decide implements Scheduler.
+func (AllRemote) Decide(*workload.Profile, *cluster.Cluster) memsys.Tier {
+	return memsys.TierRemote
+}

@@ -1,0 +1,172 @@
+// Package dataset turns the cluster's monitoring history into the training
+// and evaluation data the Predictor's models consume: sliding windows over
+// the metric time-series, per-feature z-score normalization, deterministic
+// train/test splits, and the regression metrics the paper reports (R²,
+// MAE — via internal/mathx).
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"adrias/internal/cluster"
+	"adrias/internal/mathx"
+	"adrias/internal/randutil"
+)
+
+// Window is one system-state training sample: a history window of
+// per-tick metric vectors and the per-metric mean over the following
+// horizon window (the paper's Predicted System State target, §V-B2).
+type Window struct {
+	// Past is the history window: Hist rows × NumMetrics columns, oldest
+	// first, possibly strided.
+	Past []mathx.Vector
+	// FutureMean is the mean of each metric over the horizon window.
+	FutureMean mathx.Vector
+	// At is the tick index the window ends at (prediction time).
+	At int
+}
+
+// WindowSpec controls window extraction.
+type WindowSpec struct {
+	Hist    int // history length in ticks (paper: 120)
+	Horizon int // horizon length in ticks (paper: 120)
+	Stride  int // subsampling stride inside the history window (≥1)
+	Hop     int // distance between consecutive windows (≥1)
+}
+
+// Validate reports specification errors.
+func (s WindowSpec) Validate() error {
+	switch {
+	case s.Hist <= 0 || s.Horizon <= 0:
+		return fmt.Errorf("dataset: Hist and Horizon must be positive")
+	case s.Stride <= 0 || s.Stride > s.Hist:
+		return fmt.Errorf("dataset: Stride %d out of range", s.Stride)
+	case s.Hop <= 0:
+		return fmt.Errorf("dataset: Hop must be positive")
+	}
+	return nil
+}
+
+// Steps returns the number of LSTM steps a history window yields.
+func (s WindowSpec) Steps() int { return s.Hist / s.Stride }
+
+// FromHistory extracts windows from one scenario's monitoring history.
+func FromHistory(hist []cluster.TickRecord, spec WindowSpec) ([]Window, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	series := make([]mathx.Vector, len(hist))
+	for i, r := range hist {
+		series[i] = mathx.Vector(r.Sample.Vector())
+	}
+	return FromSeries(series, spec)
+}
+
+// FromSeries extracts windows from a raw metric series (one vector per tick).
+func FromSeries(series []mathx.Vector, spec WindowSpec) ([]Window, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Window
+	for end := spec.Hist; end+spec.Horizon <= len(series); end += spec.Hop {
+		past := make([]mathx.Vector, 0, spec.Steps())
+		// Aggregate each stride block by its mean so no information inside
+		// the window is discarded by subsampling.
+		for b := end - spec.Hist; b < end; b += spec.Stride {
+			blockEnd := b + spec.Stride
+			if blockEnd > end {
+				blockEnd = end
+			}
+			past = append(past, meanOf(series[b:blockEnd]))
+		}
+		out = append(out, Window{
+			Past:       past,
+			FutureMean: meanOf(series[end : end+spec.Horizon]),
+			At:         end,
+		})
+	}
+	return out, nil
+}
+
+func meanOf(rows []mathx.Vector) mathx.Vector {
+	if len(rows) == 0 {
+		return nil
+	}
+	m := mathx.NewVector(len(rows[0]))
+	for _, r := range rows {
+		m.Add(r)
+	}
+	return m.Scale(1 / float64(len(rows)))
+}
+
+// Normalizer holds per-feature z-score statistics.
+type Normalizer struct {
+	Mean, Std mathx.Vector
+}
+
+// FitNormalizer computes per-feature statistics over rows. Features with
+// zero variance get Std 1 so they pass through unscaled.
+func FitNormalizer(rows []mathx.Vector) *Normalizer {
+	if len(rows) == 0 {
+		panic("dataset: FitNormalizer with no rows")
+	}
+	dim := len(rows[0])
+	n := &Normalizer{Mean: mathx.NewVector(dim), Std: mathx.NewVector(dim)}
+	for _, r := range rows {
+		n.Mean.Add(r)
+	}
+	n.Mean.Scale(1 / float64(len(rows)))
+	for _, r := range rows {
+		for j := range r {
+			d := r[j] - n.Mean[j]
+			n.Std[j] += d * d
+		}
+	}
+	for j := range n.Std {
+		n.Std[j] = math.Sqrt(n.Std[j] / float64(len(rows)))
+		if n.Std[j] == 0 {
+			n.Std[j] = 1
+		}
+	}
+	return n
+}
+
+// Transform returns the normalized copy of row.
+func (n *Normalizer) Transform(row mathx.Vector) mathx.Vector {
+	out := row.Clone()
+	for j := range out {
+		out[j] = (out[j] - n.Mean[j]) / n.Std[j]
+	}
+	return out
+}
+
+// TransformSeq normalizes every row of a sequence.
+func (n *Normalizer) TransformSeq(rows []mathx.Vector) []mathx.Vector {
+	out := make([]mathx.Vector, len(rows))
+	for i, r := range rows {
+		out[i] = n.Transform(r)
+	}
+	return out
+}
+
+// Inverse undoes Transform.
+func (n *Normalizer) Inverse(row mathx.Vector) mathx.Vector {
+	out := row.Clone()
+	for j := range out {
+		out[j] = out[j]*n.Std[j] + n.Mean[j]
+	}
+	return out
+}
+
+// Split partitions indices [0, n) into train and test sets with the given
+// train fraction. The split is a deterministic shuffle of the given seed
+// (the paper uses 60 % / 40 %).
+func Split(n int, trainFrac float64, seed int64) (train, test []int) {
+	if trainFrac < 0 || trainFrac > 1 {
+		panic(fmt.Sprintf("dataset: train fraction %g out of [0,1]", trainFrac))
+	}
+	idx := randutil.New(seed).Shuffle(n)
+	cut := int(float64(n) * trainFrac)
+	return idx[:cut], idx[cut:]
+}

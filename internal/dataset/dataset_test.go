@@ -1,0 +1,227 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adrias/internal/mathx"
+)
+
+// ramp builds a simple 2-feature series: feature 0 = t, feature 1 = 2t.
+func ramp(n int) []mathx.Vector {
+	s := make([]mathx.Vector, n)
+	for i := range s {
+		s[i] = mathx.Vector{float64(i), 2 * float64(i)}
+	}
+	return s
+}
+
+func TestWindowSpecValidate(t *testing.T) {
+	good := WindowSpec{Hist: 12, Horizon: 12, Stride: 3, Hop: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.Steps() != 4 {
+		t.Errorf("Steps = %d, want 4", good.Steps())
+	}
+	bad := []WindowSpec{
+		{},
+		{Hist: 10, Horizon: 0, Stride: 1, Hop: 1},
+		{Hist: 10, Horizon: 10, Stride: 0, Hop: 1},
+		{Hist: 10, Horizon: 10, Stride: 11, Hop: 1},
+		{Hist: 10, Horizon: 10, Stride: 1, Hop: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestFromSeriesCounts(t *testing.T) {
+	spec := WindowSpec{Hist: 10, Horizon: 5, Stride: 1, Hop: 1}
+	ws, err := FromSeries(ramp(30), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows end at tick 10..25 inclusive → 16 windows.
+	if len(ws) != 16 {
+		t.Fatalf("windows = %d, want 16", len(ws))
+	}
+	if ws[0].At != 10 || ws[15].At != 25 {
+		t.Errorf("At range = %d..%d", ws[0].At, ws[15].At)
+	}
+	if len(ws[0].Past) != 10 {
+		t.Errorf("past length = %d", len(ws[0].Past))
+	}
+}
+
+func TestFromSeriesValues(t *testing.T) {
+	spec := WindowSpec{Hist: 4, Horizon: 2, Stride: 1, Hop: 3}
+	ws, err := FromSeries(ramp(12), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ws[0] // past = ticks 0..3, future = ticks 4,5
+	for i := 0; i < 4; i++ {
+		if w.Past[i][0] != float64(i) {
+			t.Errorf("past[%d] = %v", i, w.Past[i])
+		}
+	}
+	if w.FutureMean[0] != 4.5 || w.FutureMean[1] != 9 {
+		t.Errorf("future mean = %v", w.FutureMean)
+	}
+	// Hop 3: next window ends at 7.
+	if ws[1].At != 7 {
+		t.Errorf("second window At = %d", ws[1].At)
+	}
+}
+
+func TestStrideAggregatesByMean(t *testing.T) {
+	spec := WindowSpec{Hist: 6, Horizon: 2, Stride: 3, Hop: 1}
+	ws, err := FromSeries(ramp(10), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ws[0] // past ticks 0..5 in two stride-3 blocks
+	if len(w.Past) != 2 {
+		t.Fatalf("steps = %d, want 2", len(w.Past))
+	}
+	if w.Past[0][0] != 1 { // mean of 0,1,2
+		t.Errorf("block 0 mean = %v, want 1", w.Past[0][0])
+	}
+	if w.Past[1][0] != 4 { // mean of 3,4,5
+		t.Errorf("block 1 mean = %v, want 4", w.Past[1][0])
+	}
+}
+
+func TestTooShortSeries(t *testing.T) {
+	spec := WindowSpec{Hist: 10, Horizon: 10, Stride: 1, Hop: 1}
+	ws, err := FromSeries(ramp(15), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 0 {
+		t.Errorf("short series should yield no windows, got %d", len(ws))
+	}
+}
+
+func TestNormalizerRoundTrip(t *testing.T) {
+	rows := []mathx.Vector{{1, 10}, {2, 20}, {3, 30}, {4, 40}}
+	n := FitNormalizer(rows)
+	if math.Abs(n.Mean[0]-2.5) > 1e-12 || math.Abs(n.Mean[1]-25) > 1e-12 {
+		t.Errorf("mean = %v", n.Mean)
+	}
+	x := mathx.Vector{3, 15}
+	back := n.Inverse(n.Transform(x))
+	for j := range x {
+		if math.Abs(back[j]-x[j]) > 1e-9 {
+			t.Errorf("roundtrip = %v", back)
+		}
+	}
+	// Transformed training rows have mean ~0, std ~1 per feature.
+	var sum0, sq0 float64
+	for _, r := range rows {
+		tr := n.Transform(r)
+		sum0 += tr[0]
+		sq0 += tr[0] * tr[0]
+	}
+	if math.Abs(sum0) > 1e-9 {
+		t.Errorf("normalized mean = %v", sum0/4)
+	}
+	if math.Abs(sq0/4-1) > 1e-9 {
+		t.Errorf("normalized var = %v", sq0/4)
+	}
+}
+
+func TestNormalizerConstantFeature(t *testing.T) {
+	rows := []mathx.Vector{{5, 1}, {5, 2}, {5, 3}}
+	n := FitNormalizer(rows)
+	tr := n.Transform(mathx.Vector{5, 2})
+	if tr[0] != 0 {
+		t.Errorf("constant feature should normalize to 0, got %v", tr[0])
+	}
+	if n.Std[0] != 1 {
+		t.Errorf("constant feature std should be forced to 1, got %v", n.Std[0])
+	}
+}
+
+func TestNormalizerTransformSeq(t *testing.T) {
+	rows := []mathx.Vector{{0}, {10}}
+	n := FitNormalizer(rows)
+	seq := n.TransformSeq(rows)
+	if len(seq) != 2 || seq[0][0] >= seq[1][0] {
+		t.Errorf("TransformSeq = %v", seq)
+	}
+	// Originals untouched.
+	if rows[0][0] != 0 {
+		t.Error("TransformSeq mutated input")
+	}
+}
+
+func TestSplitDisjointExhaustive(t *testing.T) {
+	train, test := Split(100, 0.6, 42)
+	if len(train) != 60 || len(test) != 40 {
+		t.Fatalf("split sizes = %d/%d", len(train), len(test))
+	}
+	seen := make([]bool, 100)
+	for _, i := range append(append([]int{}, train...), test...) {
+		if seen[i] {
+			t.Fatal("index appears twice")
+		}
+		seen[i] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d missing", i)
+		}
+	}
+	// Deterministic.
+	tr2, _ := Split(100, 0.6, 42)
+	for i := range train {
+		if train[i] != tr2[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+}
+
+func TestSplitPanicsOnBadFraction(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Split(10, 1.5, 1)
+}
+
+// Property: every window's FutureMean equals the mean of the horizon ticks.
+func TestPropertyWindowFutureMean(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 30 + int(nRaw%40)
+		series := make([]mathx.Vector, n)
+		v := float64(seed % 100)
+		for i := range series {
+			v = v*0.9 + float64(i%7)
+			series[i] = mathx.Vector{v}
+		}
+		spec := WindowSpec{Hist: 8, Horizon: 4, Stride: 2, Hop: 5}
+		ws, err := FromSeries(series, spec)
+		if err != nil {
+			return false
+		}
+		for _, w := range ws {
+			var sum float64
+			for k := w.At; k < w.At+4; k++ {
+				sum += series[k][0]
+			}
+			if math.Abs(w.FutureMean[0]-sum/4) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

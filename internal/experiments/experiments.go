@@ -1,0 +1,307 @@
+// Package experiments regenerates every table and figure of the Adrias
+// paper's evaluation on the simulated testbed. Each experiment returns a
+// Report: the data rows the paper plots, plus shape checks asserting the
+// published qualitative result (who wins, where the knees fall, which
+// ordering holds). cmd/adrias-bench runs them by id; bench_test.go wraps
+// each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adrias"
+	"adrias/internal/models"
+	"adrias/internal/scenario"
+	"adrias/internal/workload"
+)
+
+// Check is one qualitative shape assertion against the paper.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Paper  string // what the paper reports for this artifact
+	Lines  []string
+	Checks []Check
+}
+
+// Addf appends a formatted data line.
+func (r *Report) Addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Checkf records a shape assertion.
+func (r *Report) Checkf(pass bool, name, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Passed reports whether every check passed.
+func (r *Report) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the report as text.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	if r.Paper != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.Paper)
+	}
+	for _, l := range r.Lines {
+		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	for _, c := range r.Checks {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "  [%s] %s: %s\n", mark, c.Name, c.Detail)
+	}
+	return b.String()
+}
+
+// Scale sizes an experiment campaign. Fast runs in seconds (tests), Medium
+// in minutes (default for cmd/adrias-bench), Paper mirrors the paper's full
+// protocol.
+type Scale struct {
+	Name string
+
+	Corpus   scenario.CorpusSpec
+	LCCorpus scenario.CorpusSpec // LC-biased supplement for the LC model
+	Window   models.PerfDatasetSpec
+	Sys      models.SysStateConfig
+	Perf     models.PerfConfig
+
+	WindowHop      int
+	MaxWindows     int
+	MaxPerfSamples int
+
+	// Fig. 15 controls.
+	LOOApps     []string
+	LOOEpochs   int
+	SampleSweep []int
+
+	// Orchestration evaluation (Fig. 16/17).
+	EvalScenarios int
+	EvalDur       float64
+	EvalSpawnMax  float64
+	EvalSeed      int64
+	Betas         []float64
+
+	// Accuracy thresholds for shape checks. The simulated substrate's
+	// congestion tails grow with corpus scale (longer, heavier scenarios),
+	// so the raw-scale floors are scale-specific; log-scale floors are not.
+	MinSysR2 float64 // raw-scale system-state average
+	MinBER2  float64 // BE perf model, deployable {120,Ŝ} configuration
+	MinLCR2  float64 // LC perf model
+}
+
+// Fast returns the seconds-scale campaign used by tests and go test -bench.
+func Fast() Scale {
+	return Scale{
+		Name: "fast",
+		Corpus: scenario.CorpusSpec{
+			BaseSeed: 3000, DurationSec: 900, SpawnMin: 5,
+			SpawnMaxes: []float64{15, 35}, SeedsPer: 4,
+			IBenchShare: 0.35, KeepHistory: true,
+		},
+		LCCorpus: scenario.CorpusSpec{
+			BaseSeed: 7000, DurationSec: 900, SpawnMin: 5,
+			SpawnMaxes: []float64{15, 35}, SeedsPer: 4,
+			IBenchShare: 0.35, LCShare: 0.7, KeepHistory: true,
+		},
+		Window:         models.PerfDatasetSpec{HistTicks: 60, FutureTicks: 60, Stride: 10},
+		Sys:            models.SysStateConfig{Hidden: 16, BlockDim: 24, Dropout: 0, LR: 2e-3, Epochs: 12, Batch: 24, Seed: 3},
+		Perf:           models.PerfConfig{Hidden: 12, BlockDim: 24, Dropout: 0, LR: 2e-3, Epochs: 18, Batch: 24, Seed: 5, TrainFuture: models.Future120Actual, EvalFuture: models.FuturePredicted},
+		WindowHop:      9,
+		MaxWindows:     2500,
+		MaxPerfSamples: 1500,
+		LOOApps:        []string{"gbt", "nweight", "gmm"},
+		LOOEpochs:      10,
+		SampleSweep:    []int{25, 50, 100, 200},
+		EvalScenarios:  2,
+		EvalDur:        900,
+		EvalSpawnMax:   30,
+		EvalSeed:       9000,
+		Betas:          []float64{1.0, 0.9, 0.8, 0.7, 0.6},
+		MinSysR2:       0.7,
+		MinBER2:        0.6,
+		MinLCR2:        0.45,
+	}
+}
+
+// Medium is the default cmd/adrias-bench campaign (minutes).
+func Medium() Scale {
+	s := Fast()
+	s.Name = "medium"
+	s.Corpus = scenario.CorpusSpec{
+		BaseSeed: 1000, DurationSec: 1800, SpawnMin: 5,
+		SpawnMaxes: []float64{20, 30, 40, 50, 60}, SeedsPer: 5,
+		IBenchShare: 0.35, KeepHistory: true,
+	}
+	s.LCCorpus = scenario.CorpusSpec{
+		BaseSeed: 7100, DurationSec: 1800, SpawnMin: 5,
+		SpawnMaxes: []float64{20, 40, 60}, SeedsPer: 4,
+		IBenchShare: 0.35, LCShare: 0.7, KeepHistory: true,
+	}
+	s.Window = models.PerfDatasetSpec{HistTicks: 120, FutureTicks: 120, Stride: 10}
+	s.Sys = models.SysStateConfig{Hidden: 24, BlockDim: 48, Dropout: 0.05, LR: 1.5e-3, Epochs: 14, Batch: 32, Seed: 3}
+	s.Perf = models.PerfConfig{Hidden: 28, BlockDim: 56, Dropout: 0, LR: 1e-3, Epochs: 40, Batch: 32, Seed: 5, TrainFuture: models.Future120Actual, EvalFuture: models.FuturePredicted}
+	s.WindowHop = 17
+	s.MaxWindows = 5000
+	s.MaxPerfSamples = 3000
+	s.LOOApps = []string{"gbt", "nweight", "gmm", "sort", "lda"}
+	s.LOOEpochs = 16
+	s.SampleSweep = []int{50, 100, 200, 400, 800}
+	s.EvalScenarios = 3
+	s.EvalDur = 1800
+	s.EvalSpawnMax = 40
+	// Longer, heavier scenarios widen the corpus's congestion tail, which
+	// caps raw-scale R² (stochastic future arrivals dominate extreme
+	// windows) and adds tail-sampling noise to LC p99 targets; the
+	// log-scale check in table1 stays strict.
+	s.MinSysR2 = 0.55
+	s.MinBER2 = 0.5
+	s.MinLCR2 = 0.35
+	return s
+}
+
+// Paper mirrors the paper's full protocol: the 72 × 1 h corpus.
+func Paper() Scale {
+	s := Medium()
+	s.Name = "paper"
+	s.Corpus = scenario.DefaultCorpus()
+	s.Sys.Epochs = 16
+	s.Perf.Epochs = 24
+	s.MaxWindows = 8000
+	s.MaxPerfSamples = 5000
+	s.LOOApps = nil // all 17
+	s.EvalScenarios = 5
+	s.EvalDur = 3600
+	return s
+}
+
+// Suite caches the expensive shared artifacts (trace corpus, trained
+// system) across experiments.
+type Suite struct {
+	Scale Scale
+
+	reg       *workload.Registry
+	results   []scenario.Result
+	lcResults []scenario.Result
+	sys       *adrias.System
+	beAll     []models.PerfSample
+	lcAll     []models.PerfSample
+}
+
+// NewSuite builds an empty suite at the given scale.
+func NewSuite(s Scale) *Suite {
+	return &Suite{Scale: s, reg: workload.NewRegistry()}
+}
+
+// Registry returns the workload registry.
+func (s *Suite) Registry() *workload.Registry { return s.reg }
+
+// Corpus lazily runs the trace-collection campaign.
+func (s *Suite) Corpus() ([]scenario.Result, error) {
+	if s.results == nil {
+		res, err := scenario.RunCorpus(s.Scale.Corpus, s.reg, nil)
+		if err != nil {
+			return nil, err
+		}
+		s.results = res
+	}
+	return s.results, nil
+}
+
+// System lazily trains the full Adrias stack on the corpus.
+func (s *Suite) System() (*adrias.System, error) {
+	if s.sys == nil {
+		results, err := s.Corpus()
+		if err != nil {
+			return nil, err
+		}
+		opts := s.options()
+		sys, err := adrias.TrainOn(opts, s.reg, results)
+		if err != nil {
+			return nil, err
+		}
+		s.sys = sys
+	}
+	return s.sys, nil
+}
+
+func (s *Suite) options() adrias.Options {
+	lcCorpus := s.Scale.LCCorpus
+	return adrias.Options{
+		Corpus:         s.Scale.Corpus,
+		LCCorpus:       &lcCorpus,
+		Window:         s.Scale.Window,
+		Sys:            s.Scale.Sys,
+		Perf:           s.Scale.Perf,
+		TrainFrac:      0.6,
+		WindowHop:      s.Scale.WindowHop,
+		MaxWindows:     s.Scale.MaxWindows,
+		MaxPerfSamples: s.Scale.MaxPerfSamples,
+		Seed:           1,
+	}
+}
+
+// PerfSamples lazily builds the per-class performance datasets (uncapped,
+// for the accuracy experiments that manage their own budgets). LC samples
+// are supplemented from the LC-biased corpus, mirroring adrias.TrainOn.
+func (s *Suite) PerfSamples() (be, lc []models.PerfSample, err error) {
+	if s.beAll == nil {
+		results, err := s.Corpus()
+		if err != nil {
+			return nil, nil, err
+		}
+		all := models.BuildPerfSamples(results, s.Scale.Window)
+		for _, smp := range all {
+			if smp.Class == workload.BestEffort {
+				s.beAll = append(s.beAll, smp)
+			} else {
+				s.lcAll = append(s.lcAll, smp)
+			}
+		}
+		if s.lcResults == nil {
+			s.lcResults, err = scenario.RunCorpus(s.Scale.LCCorpus, s.reg, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, smp := range models.BuildPerfSamples(s.lcResults, s.Scale.Window) {
+			if smp.Class == workload.LatencyCritical {
+				s.lcAll = append(s.lcAll, smp)
+			}
+		}
+	}
+	return s.beAll, s.lcAll, nil
+}
+
+// medianOf returns the median of vals (0 for empty input).
+func medianOf(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	}
+	n := len(s)
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Descriptor names one reproducible artifact and how to regenerate it.
+type Descriptor struct {
+	ID    string
+	Title string
+	Run   func(*Suite) (*Report, error)
+}
+
+// All returns the experiment registry in presentation order.
+func All() []Descriptor {
+	return []Descriptor{
+		{"fig2", "Limits of HW memory disaggregation", (*Suite).Fig2},
+		{"fig3", "LC tail latency in isolation", (*Suite).Fig3},
+		{"fig4", "Spark isolation local vs remote", (*Suite).Fig4},
+		{"fig5", "Interference heatmap", (*Suite).Fig5},
+		{"fig6", "Metric/performance correlation", (*Suite).Fig6},
+		{"fig8", "Scenario dynamics", (*Suite).Fig8},
+		{"fig9", "Spark corpus distributions", (*Suite).Fig9},
+		{"fig10", "LC corpus distributions", (*Suite).Fig10},
+		{"table1", "System-state model R²", (*Suite).Table1},
+		{"fig12", "System-state residuals", (*Suite).Fig12},
+		{"fig13", "BE performance model accuracy", (*Suite).Fig13},
+		{"fig14", "LC performance model accuracy", (*Suite).Fig14},
+		{"fig15", "Generalization (LOO, sample sweep)", (*Suite).Fig15},
+		{"fig16", "BE orchestration comparison", (*Suite).Fig16},
+		{"fig17", "LC QoS orchestration", (*Suite).Fig17},
+		{"traffic", "Fabric data traffic", (*Suite).Traffic},
+		{"ablation", "LSTM vs linear/persistence baselines (§VII)", (*Suite).Ablation},
+	}
+}
+
+// ByID returns the descriptor for one experiment id.
+func ByID(id string) (Descriptor, error) {
+	for _, d := range All() {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	ids := make([]string, 0, len(All()))
+	for _, d := range All() {
+		ids = append(ids, d.ID)
+	}
+	sort.Strings(ids)
+	return Descriptor{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}

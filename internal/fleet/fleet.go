@@ -1,0 +1,328 @@
+// Package fleet implements the multi-node deployment the paper sketches in
+// its scalability discussion (§VII): several borrower nodes, each with its
+// own ThymesisFlow link and monitoring stream, under one cluster-level
+// orchestrator. Watchers and Predictors stay per-node (distributed); the
+// placement decision is centralized and extends the single-node rules with
+// a cluster-efficiency tie-break — "in case of iso-QoS predictions between
+// different nodes", the least-loaded node wins.
+//
+// The paper evaluates on one node (the prototype's hardware limit); this
+// package is the forward-looking extension it describes, built on the same
+// simulated substrate.
+package fleet
+
+import (
+	"fmt"
+
+	"adrias/internal/cluster"
+	"adrias/internal/core"
+	"adrias/internal/memsys"
+	"adrias/internal/randutil"
+	"adrias/internal/workload"
+)
+
+// Placement names a node and a memory tier.
+type Placement struct {
+	Node int
+	Tier memsys.Tier
+}
+
+// Scheduler decides where an arriving application lands in the fleet.
+type Scheduler interface {
+	Name() string
+	Decide(p *workload.Profile, f *Fleet) Placement
+}
+
+// Fleet is a set of independent borrower nodes advanced in lockstep.
+// Nodes do not share memory fabric or caches (each has its own lender
+// link), so cross-node interference is nil — exactly the disaggregated
+// rack the paper envisions.
+type Fleet struct {
+	Nodes []*cluster.Cluster
+	now   float64
+	tick  float64
+
+	// pending holds deployments scheduled into the future.
+	pending []arrival
+}
+
+type arrival struct {
+	at     float64
+	p      *workload.Profile
+	decide func() Placement
+	done   func(*workload.Instance, int)
+}
+
+// New builds a fleet of n identical nodes with per-node seeds.
+func New(n int, cfg cluster.Config) *Fleet {
+	if n <= 0 {
+		panic("fleet: need at least one node")
+	}
+	f := &Fleet{tick: cfg.TickPeriod}
+	if f.tick <= 0 {
+		f.tick = 1
+	}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*1000
+		f.Nodes = append(f.Nodes, cluster.New(c))
+	}
+	return f
+}
+
+// Now returns fleet time.
+func (f *Fleet) Now() float64 { return f.now }
+
+// Deploy places p immediately on the given node and tier.
+func (f *Fleet) Deploy(p *workload.Profile, pl Placement) *workload.Instance {
+	return f.Nodes[pl.Node].Deploy(p, pl.Tier)
+}
+
+// DeployAt schedules an arrival; decide runs at arrival time.
+func (f *Fleet) DeployAt(at float64, p *workload.Profile, decide func() Placement,
+	done func(*workload.Instance, int)) {
+	if at < f.now {
+		panic(fmt.Sprintf("fleet: scheduling at %.1f before now %.1f", at, f.now))
+	}
+	f.pending = append(f.pending, arrival{at: at, p: p, decide: decide, done: done})
+}
+
+// Running returns the total number of running instances.
+func (f *Fleet) Running() int {
+	n := 0
+	for _, c := range f.Nodes {
+		n += len(c.Running())
+	}
+	return n
+}
+
+// Run advances all nodes in lockstep until the given time, firing pending
+// arrivals in timestamp order.
+func (f *Fleet) Run(until float64) {
+	for f.now < until {
+		next := f.now + f.tick
+		if next > until {
+			next = until
+		}
+		// Fire arrivals due in (now, next].
+		for i := range f.pending {
+			a := &f.pending[i]
+			if a.p != nil && a.at <= next {
+				pl := a.decide()
+				in := f.Nodes[pl.Node].Deploy(a.p, pl.Tier)
+				if a.done != nil {
+					a.done(in, pl.Node)
+				}
+				a.p = nil
+			}
+		}
+		for _, c := range f.Nodes {
+			c.Run(next)
+		}
+		f.now = next
+	}
+	// Compact fired arrivals.
+	live := f.pending[:0]
+	for _, a := range f.pending {
+		if a.p != nil {
+			live = append(live, a)
+		}
+	}
+	f.pending = live
+}
+
+// Drained reports whether all nodes are idle and no arrivals are pending.
+func (f *Fleet) Drained() bool {
+	if len(f.pending) > 0 {
+		return false
+	}
+	for _, c := range f.Nodes {
+		if len(c.Running()) > 0 || c.Engine().Pending() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RunUntilDrained advances until Drained or the horizon, whichever first.
+func (f *Fleet) RunUntilDrained(maxTime float64) error {
+	for f.now < maxTime {
+		if f.Drained() {
+			return nil
+		}
+		next := f.now + 60*f.tick
+		if next > maxTime {
+			next = maxTime
+		}
+		f.Run(next)
+	}
+	if f.Drained() {
+		return nil
+	}
+	return fmt.Errorf("fleet: not drained by t=%g", maxTime)
+}
+
+// RandomFleet places apps uniformly over (node, tier) pairs.
+type RandomFleet struct {
+	rng *randutil.Source
+}
+
+// NewRandomFleet builds a random fleet scheduler.
+func NewRandomFleet(seed int64) *RandomFleet { return &RandomFleet{rng: randutil.New(seed)} }
+
+// Name implements Scheduler.
+func (*RandomFleet) Name() string { return "fleet-random" }
+
+// Decide implements Scheduler.
+func (r *RandomFleet) Decide(_ *workload.Profile, f *Fleet) Placement {
+	tier := memsys.TierLocal
+	if r.rng.Bernoulli(0.5) {
+		tier = memsys.TierRemote
+	}
+	return Placement{Node: r.rng.Intn(len(f.Nodes)), Tier: tier}
+}
+
+// LeastLoaded places every app locally on the node with the fewest running
+// instances — the conventional cluster baseline.
+type LeastLoaded struct{}
+
+// Name implements Scheduler.
+func (LeastLoaded) Name() string { return "fleet-least-loaded" }
+
+// Decide implements Scheduler.
+func (LeastLoaded) Decide(_ *workload.Profile, f *Fleet) Placement {
+	best := 0
+	for i, c := range f.Nodes {
+		if len(c.Running()) < len(f.Nodes[best].Running()) {
+			best = i
+		}
+	}
+	return Placement{Node: best, Tier: memsys.TierLocal}
+}
+
+// Orchestrator is the cluster-level Adrias: per-node Watcher windows feed
+// the shared Predictor; the single-node rules pick each node's preferred
+// tier, and the cluster chooses the node with the best predicted outcome,
+// breaking near-ties toward the least-loaded node (§VII).
+type Orchestrator struct {
+	Pred  *core.Predictor
+	Watch *core.Watcher
+	Beta  float64
+	QoSMs map[string]float64
+	// TieFrac treats predictions within this relative margin as iso-QoS,
+	// invoking the load tie-break. Default 0.05.
+	TieFrac float64
+
+	Decisions []FleetDecision
+}
+
+// FleetDecision records one cluster-level decision.
+type FleetDecision struct {
+	App       string
+	Placement Placement
+	Pred      float64 // predicted perf at the chosen placement
+	ColdStart bool
+	Fallback  bool
+}
+
+// NewOrchestrator builds the cluster-level Adrias scheduler.
+func NewOrchestrator(pred *core.Predictor, watch *core.Watcher, beta float64) *Orchestrator {
+	if beta <= 0 {
+		panic("fleet: beta must be positive")
+	}
+	return &Orchestrator{
+		Pred: pred, Watch: watch, Beta: beta,
+		QoSMs:   make(map[string]float64),
+		TieFrac: 0.05,
+	}
+}
+
+// Name implements Scheduler.
+func (o *Orchestrator) Name() string { return fmt.Sprintf("fleet-adrias(β=%g)", o.Beta) }
+
+// Decide implements Scheduler.
+func (o *Orchestrator) Decide(p *workload.Profile, f *Fleet) Placement {
+	d := FleetDecision{App: p.Name}
+
+	leastLoaded := func() int {
+		best := 0
+		for i, c := range f.Nodes {
+			if len(c.Running()) < len(f.Nodes[best].Running()) {
+				best = i
+			}
+		}
+		return best
+	}
+
+	// Cold start: unknown app → remote on the least-loaded node.
+	if !o.Pred.Sigs.Has(p.Name) {
+		d.ColdStart = true
+		d.Placement = Placement{Node: leastLoaded(), Tier: memsys.TierRemote}
+		if !f.Nodes[d.Placement.Node].CanFit(p, memsys.TierRemote) {
+			d.Placement.Tier = memsys.TierLocal
+			d.Fallback = true
+		}
+		o.Decisions = append(o.Decisions, d)
+		return d.Placement
+	}
+
+	class := core.ClassBE
+	if p.Class == workload.LatencyCritical {
+		class = core.ClassLC
+	}
+
+	type cand struct {
+		pl   Placement
+		perf float64
+		load int
+	}
+	var cands []cand
+	for i, c := range f.Nodes {
+		window := o.Watch.Window(c)
+		if window == nil {
+			continue
+		}
+		local, errL := o.Pred.PredictPerf(p.Name, class, window, memsys.TierLocal)
+		remote, errR := o.Pred.PredictPerf(p.Name, class, window, memsys.TierRemote)
+		if errL != nil || errR != nil {
+			continue
+		}
+		var tier memsys.Tier
+		var perf float64
+		if class == core.ClassBE {
+			tier = core.DecideBE(o.Beta, local, remote)
+		} else {
+			qos, ok := o.QoSMs[p.Name]
+			tier = core.DecideLC(qos, ok, remote)
+		}
+		if tier == memsys.TierRemote && !f.Nodes[i].CanFit(p, memsys.TierRemote) {
+			tier = memsys.TierLocal
+		}
+		perf = local
+		if tier == memsys.TierRemote {
+			perf = remote
+		}
+		cands = append(cands, cand{pl: Placement{Node: i, Tier: tier}, perf: perf, load: len(c.Running())})
+	}
+	if len(cands) == 0 {
+		// No node has monitoring history yet: safe default.
+		d.Fallback = true
+		d.Placement = Placement{Node: leastLoaded(), Tier: memsys.TierLocal}
+		o.Decisions = append(o.Decisions, d)
+		return d.Placement
+	}
+	// Best predicted outcome; near-ties go to the least-loaded node (§VII).
+	best := cands[0]
+	for _, c := range cands[1:] {
+		switch {
+		case c.perf < best.perf*(1-o.TieFrac):
+			best = c
+		case c.perf <= best.perf*(1+o.TieFrac) && c.load < best.load:
+			best = c
+		}
+	}
+	d.Placement = best.pl
+	d.Pred = best.perf
+	o.Decisions = append(o.Decisions, d)
+	return d.Placement
+}

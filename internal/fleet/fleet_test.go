@@ -1,0 +1,292 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"adrias/internal/cluster"
+	"adrias/internal/core"
+	"adrias/internal/dataset"
+	"adrias/internal/memsys"
+	"adrias/internal/models"
+	"adrias/internal/randutil"
+	"adrias/internal/scenario"
+	"adrias/internal/workload"
+)
+
+var registry = workload.NewRegistry()
+
+func TestNewFleetPanicsOnZeroNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(0, cluster.DefaultConfig())
+}
+
+func TestLockstepAdvance(t *testing.T) {
+	f := New(3, cluster.DefaultConfig())
+	f.Deploy(registry.ByName("gmm"), Placement{Node: 1, Tier: memsys.TierLocal})
+	f.Run(20)
+	if f.Now() != 20 {
+		t.Errorf("Now = %v", f.Now())
+	}
+	for i, c := range f.Nodes {
+		if c.Now() != 20 {
+			t.Errorf("node %d at t=%v, want 20", i, c.Now())
+		}
+	}
+	if len(f.Nodes[1].Running()) != 1 {
+		t.Error("deployment missing on node 1")
+	}
+	if len(f.Nodes[0].Running()) != 0 {
+		t.Error("unexpected instance on node 0")
+	}
+}
+
+func TestNodesAreIsolated(t *testing.T) {
+	// Interference on node 0 must not slow an app on node 1.
+	solo := func() float64 {
+		f := New(2, cluster.DefaultConfig())
+		in := f.Deploy(registry.ByName("sort"), Placement{Node: 1, Tier: memsys.TierLocal})
+		if err := f.RunUntilDrained(5000); err != nil {
+			t.Fatal(err)
+		}
+		return in.ExecTime(f.Now())
+	}()
+	crowded := func() float64 {
+		f := New(2, cluster.DefaultConfig())
+		in := f.Deploy(registry.ByName("sort"), Placement{Node: 1, Tier: memsys.TierLocal})
+		for i := 0; i < 16; i++ {
+			f.Deploy(registry.ByName("ibench-l3"), Placement{Node: 0, Tier: memsys.TierLocal})
+		}
+		if err := f.RunUntilDrained(5000); err != nil {
+			t.Fatal(err)
+		}
+		return in.ExecTime(f.Now())
+	}()
+	if math.Abs(solo-crowded) > 1 {
+		t.Errorf("cross-node interference detected: solo %v vs crowded %v", solo, crowded)
+	}
+}
+
+func TestDeployAtFiresInOrder(t *testing.T) {
+	f := New(2, cluster.DefaultConfig())
+	var order []string
+	mk := func(name string, node int) func() Placement {
+		return func() Placement {
+			order = append(order, name)
+			return Placement{Node: node, Tier: memsys.TierLocal}
+		}
+	}
+	f.DeployAt(10, registry.ByName("gmm"), mk("b", 0), nil)
+	f.DeployAt(5, registry.ByName("pca"), mk("a", 1), nil)
+	f.Run(20)
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Errorf("order = %v", order)
+	}
+	if err := f.RunUntilDrained(5000); err != nil {
+		t.Fatal(err)
+	}
+	if f.Running() != 0 {
+		t.Error("fleet not drained")
+	}
+}
+
+func TestDeployAtPastPanics(t *testing.T) {
+	f := New(1, cluster.DefaultConfig())
+	f.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f.DeployAt(5, registry.ByName("gmm"), nil, nil)
+}
+
+func TestRandomFleetSpreads(t *testing.T) {
+	f := New(4, cluster.DefaultConfig())
+	r := NewRandomFleet(7)
+	nodes := map[int]int{}
+	for i := 0; i < 400; i++ {
+		pl := r.Decide(registry.ByName("gmm"), f)
+		if pl.Node < 0 || pl.Node >= 4 {
+			t.Fatalf("bad node %d", pl.Node)
+		}
+		nodes[pl.Node]++
+	}
+	for n, c := range nodes {
+		if c < 60 || c > 140 {
+			t.Errorf("node %d picked %d/400 times", n, c)
+		}
+	}
+}
+
+func TestLeastLoaded(t *testing.T) {
+	f := New(3, cluster.DefaultConfig())
+	f.Deploy(registry.ByName("gmm"), Placement{Node: 0, Tier: memsys.TierLocal})
+	f.Deploy(registry.ByName("gmm"), Placement{Node: 1, Tier: memsys.TierLocal})
+	pl := (LeastLoaded{}).Decide(registry.ByName("sort"), f)
+	if pl.Node != 2 || pl.Tier != memsys.TierLocal {
+		t.Errorf("least-loaded = %+v, want node 2 local", pl)
+	}
+}
+
+// trainFleetPredictor builds a small trained predictor for fleet
+// orchestrator behavior tests.
+func trainFleetPredictor(t *testing.T) (*core.Predictor, *core.Watcher) {
+	t.Helper()
+	spec := models.PerfDatasetSpec{HistTicks: 60, FutureTicks: 60, Stride: 10}
+	corpus := scenario.CorpusSpec{
+		BaseSeed: 600, DurationSec: 600, SpawnMin: 5, SpawnMaxes: []float64{15},
+		SeedsPer: 4, IBenchShare: 0.35, KeepHistory: true,
+	}
+	results, err := scenario.RunCorpus(corpus, registry, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var windows []dataset.Window
+	wspec := spec.WindowSpec()
+	wspec.Hop = 11
+	for _, r := range results {
+		ws, err := dataset.FromHistory(r.History, wspec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		windows = append(windows, ws...)
+	}
+	sys := models.NewSysStateModel(models.SysStateConfig{
+		Hidden: 12, BlockDim: 16, Dropout: 0, LR: 2e-3, Epochs: 8, Batch: 16, Seed: 3})
+	trainIdx, _ := dataset.Split(len(windows), 0.8, 5)
+	if err := sys.Fit(windows, trainIdx); err != nil {
+		t.Fatal(err)
+	}
+	sigs, err := models.BuildSignatures(registry, spec.HistTicks/spec.Stride, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := models.BuildPerfSamples(results, spec)
+	var be, lc []models.PerfSample
+	for _, s := range samples {
+		if s.Class == workload.BestEffort {
+			be = append(be, s)
+		} else {
+			lc = append(lc, s)
+		}
+	}
+	pcfg := models.PerfConfig{
+		Hidden: 10, BlockDim: 16, Dropout: 0, LR: 2e-3, Epochs: 10, Batch: 16, Seed: 5,
+		TrainFuture: models.Future120Actual, EvalFuture: models.FuturePredicted,
+	}
+	fit := func(ss []models.PerfSample) *models.PerfModel {
+		m := models.NewPerfModel(pcfg, sigs)
+		idx := make([]int, len(ss))
+		for i := range idx {
+			idx[i] = i
+		}
+		if err := m.Fit(ss, idx); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	pred := &core.Predictor{Sys: sys, BE: fit(be), LC: fit(lc), Sigs: sigs}
+	return pred, core.NewWatcher(spec)
+}
+
+func TestFleetOrchestratorEndToEnd(t *testing.T) {
+	pred, watch := trainFleetPredictor(t)
+	o := NewOrchestrator(pred, watch, 0.8)
+	f := New(3, cluster.DefaultConfig())
+	rng := randutil.New(11)
+	apps := append(registry.Spark(), registry.LC()...)
+	for i := 0; i < 40; i++ {
+		at := float64(5 + i*15)
+		p := apps[rng.Intn(len(apps))]
+		pp := p
+		f.DeployAt(at, pp, func() Placement { return o.Decide(pp, f) }, nil)
+	}
+	if err := f.RunUntilDrained(20000); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Decisions) != 40 {
+		t.Fatalf("decisions = %d, want 40", len(o.Decisions))
+	}
+	nodes := map[int]int{}
+	predicted := 0
+	for _, d := range o.Decisions {
+		nodes[d.Placement.Node]++
+		if !d.Fallback && !d.ColdStart {
+			predicted++
+		}
+	}
+	if len(nodes) < 2 {
+		t.Errorf("orchestrator never spread load: %v", nodes)
+	}
+	if predicted == 0 {
+		t.Error("no predicted decisions")
+	}
+	done := 0
+	for _, c := range f.Nodes {
+		done += len(c.Completed())
+	}
+	if done != 40 {
+		t.Errorf("completed = %d, want 40", done)
+	}
+}
+
+func TestFleetOrchestratorFallbackWithoutHistory(t *testing.T) {
+	// Without monitoring history the orchestrator must fall back to local
+	// on the least-loaded node rather than guessing.
+	watch := core.NewWatcher(models.PerfDatasetSpec{HistTicks: 60, FutureTicks: 60, Stride: 10})
+	sigs := models.NewSignatureStore(6)
+	// Seed one signature so the decision path goes past cold start.
+	trace, err := models.CaptureSignature(registry.ByName("gmm"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sigs.Put("gmm", trace); err != nil {
+		t.Fatal(err)
+	}
+	pred := &core.Predictor{Sigs: sigs}
+	o := NewOrchestrator(pred, watch, 0.8)
+	f := New(2, cluster.DefaultConfig())
+	f.Deploy(registry.ByName("redis"), Placement{Node: 1, Tier: memsys.TierLocal})
+	pl := o.Decide(registry.ByName("gmm"), f)
+	if pl.Tier != memsys.TierLocal {
+		t.Errorf("no-history decision should be local, got %+v", pl)
+	}
+	if pl.Node != 0 {
+		t.Errorf("should pick least-loaded node 0, got %d", pl.Node)
+	}
+	if len(o.Decisions) != 1 || !o.Decisions[0].Fallback {
+		t.Errorf("decision not recorded as fallback: %+v", o.Decisions)
+	}
+}
+
+func TestFleetOrchestratorColdStart(t *testing.T) {
+	watch := core.NewWatcher(models.PerfDatasetSpec{HistTicks: 60, FutureTicks: 60, Stride: 10})
+	pred := &core.Predictor{Sigs: models.NewSignatureStore(6)}
+	o := NewOrchestrator(pred, watch, 0.8)
+	f := New(3, cluster.DefaultConfig())
+	f.Deploy(registry.ByName("redis"), Placement{Node: 0, Tier: memsys.TierLocal})
+	pl := o.Decide(registry.ByName("sort"), f)
+	if pl.Tier != memsys.TierRemote {
+		t.Errorf("cold start should go remote, got %+v", pl)
+	}
+	if pl.Node == 0 {
+		t.Error("cold start should avoid the loaded node")
+	}
+	if !o.Decisions[0].ColdStart {
+		t.Error("cold start not recorded")
+	}
+}
+
+func TestFleetOrchestratorBadBetaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewOrchestrator(nil, nil, 0)
+}

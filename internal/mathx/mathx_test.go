@@ -1,0 +1,352 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+
+	if got := Dot(v, w); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+	if got := Sum(v); got != 6 {
+		t.Errorf("Sum = %v, want 6", got)
+	}
+	if got := Mean(v); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+
+	c := v.Clone()
+	c.Add(w)
+	if c[0] != 5 || c[1] != 7 || c[2] != 9 {
+		t.Errorf("Add = %v", c)
+	}
+	if v[0] != 1 {
+		t.Error("Clone did not copy: source mutated")
+	}
+
+	c = v.Clone().Sub(w)
+	if c[0] != -3 {
+		t.Errorf("Sub = %v", c)
+	}
+	c = v.Clone().Scale(2)
+	if c[2] != 6 {
+		t.Errorf("Scale = %v", c)
+	}
+	c = v.Clone().AddScaled(10, w)
+	if c[0] != 41 {
+		t.Errorf("AddScaled = %v", c)
+	}
+	c = v.Clone().MulElem(w)
+	if c[1] != 10 {
+		t.Errorf("MulElem = %v", c)
+	}
+}
+
+func TestVectorFillZero(t *testing.T) {
+	v := NewVector(4)
+	v.Fill(3.5)
+	for _, x := range v {
+		if x != 3.5 {
+			t.Fatalf("Fill left %v", v)
+		}
+	}
+	v.Zero()
+	for _, x := range v {
+		if x != 0 {
+			t.Fatalf("Zero left %v", v)
+		}
+	}
+}
+
+func TestMinMaxArgMax(t *testing.T) {
+	v := Vector{3, -1, 7, 2}
+	if Min(v) != -1 {
+		t.Errorf("Min = %v", Min(v))
+	}
+	if Max(v) != 7 {
+		t.Errorf("Max = %v", Max(v))
+	}
+	if ArgMax(v) != 2 {
+		t.Errorf("ArgMax = %v", ArgMax(v))
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Min of empty vector did not panic")
+		}
+	}()
+	Min(Vector{})
+}
+
+func TestVarianceStd(t *testing.T) {
+	v := Vector{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(v); !almostEq(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := Std(v); !almostEq(got, 2, 1e-12) {
+		t.Errorf("Std = %v, want 2", got)
+	}
+	if Variance(Vector{5}) != 0 {
+		t.Error("Variance of single element should be 0")
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	v := Vector{1, 1, 1}
+	dst := NewVector(2)
+	m.MulVec(dst, v)
+	if dst[0] != 6 || dst[1] != 15 {
+		t.Errorf("MulVec = %v", dst)
+	}
+
+	u := Vector{1, 2}
+	dt := NewVector(3)
+	m.MulVecT(dt, u)
+	// mᵀ·u = [1+8, 2+10, 3+12]
+	if dt[0] != 9 || dt[1] != 12 || dt[2] != 15 {
+		t.Errorf("MulVecT = %v", dt)
+	}
+}
+
+func TestMatrixAddOuter(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.AddOuter(2, Vector{1, 2}, Vector{3, 4})
+	want := []float64{6, 8, 12, 16}
+	for i, x := range want {
+		if m.Data[i] != x {
+			t.Fatalf("AddOuter = %v, want %v", m.Data, want)
+		}
+	}
+}
+
+func TestMatrixAtSetRowClone(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(1, 0, 42)
+	if m.At(1, 0) != 42 {
+		t.Errorf("At/Set roundtrip failed")
+	}
+	r := m.Row(1)
+	r[1] = 7 // aliases storage
+	if m.At(1, 1) != 7 {
+		t.Error("Row must alias matrix storage")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Error("Clone must not alias")
+	}
+	m.Zero()
+	if m.At(1, 0) != 0 {
+		t.Error("Zero failed")
+	}
+}
+
+func TestMatrixAddScaledShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddScaled with mismatched shapes did not panic")
+		}
+	}()
+	NewMatrix(2, 2).AddScaled(1, NewMatrix(2, 3))
+}
+
+func TestPearson(t *testing.T) {
+	x := Vector{1, 2, 3, 4, 5}
+	if got := Pearson(x, x.Clone()); !almostEq(got, 1, 1e-12) {
+		t.Errorf("Pearson self = %v", got)
+	}
+	neg := Vector{5, 4, 3, 2, 1}
+	if got := Pearson(x, neg); !almostEq(got, -1, 1e-12) {
+		t.Errorf("Pearson reversed = %v", got)
+	}
+	if got := Pearson(x, Vector{7, 7, 7, 7, 7}); got != 0 {
+		t.Errorf("Pearson vs constant = %v, want 0", got)
+	}
+	if got := Pearson(x, Vector{1, 2}); got != 0 {
+		t.Errorf("Pearson mismatched lengths = %v, want 0", got)
+	}
+}
+
+func TestR2(t *testing.T) {
+	a := Vector{1, 2, 3, 4}
+	if got := R2(a, a.Clone()); got != 1 {
+		t.Errorf("R2 perfect = %v", got)
+	}
+	mean := Mean(a)
+	pred := Vector{mean, mean, mean, mean}
+	if got := R2(a, pred); !almostEq(got, 0, 1e-12) {
+		t.Errorf("R2 mean predictor = %v, want 0", got)
+	}
+	bad := Vector{10, 10, 10, 10}
+	if got := R2(a, bad); got >= 0 {
+		t.Errorf("R2 bad predictor = %v, want negative", got)
+	}
+	// zero-variance actuals
+	if got := R2(Vector{5, 5}, Vector{5, 5}); got != 1 {
+		t.Errorf("R2 const exact = %v, want 1", got)
+	}
+	if got := R2(Vector{5, 5}, Vector{5, 6}); got != 0 {
+		t.Errorf("R2 const inexact = %v, want 0", got)
+	}
+}
+
+func TestMAERMSE(t *testing.T) {
+	a := Vector{0, 0, 0, 0}
+	p := Vector{1, -1, 2, -2}
+	if got := MAE(a, p); got != 1.5 {
+		t.Errorf("MAE = %v, want 1.5", got)
+	}
+	if got := RMSE(a, p); !almostEq(got, math.Sqrt(2.5), 1e-12) {
+		t.Errorf("RMSE = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := Vector{4, 1, 3, 2, 5}
+	if got := Percentile(v, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(v, 100); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(v, 50); got != 3 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(v, 25); got != 2 {
+		t.Errorf("P25 = %v", got)
+	}
+	// interpolation: P10 of {1..5} -> rank 0.4 -> 1.4
+	if got := Percentile(v, 10); !almostEq(got, 1.4, 1e-12) {
+		t.Errorf("P10 = %v, want 1.4", got)
+	}
+	// input must not be mutated
+	if v[0] != 4 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestQuantilesAndSummary(t *testing.T) {
+	v := NewVector(101)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	q := Quantiles(v, 0, 50, 90, 100)
+	want := Vector{0, 50, 90, 100}
+	for i := range q {
+		if !almostEq(q[i], want[i], 1e-9) {
+			t.Errorf("Quantiles[%d] = %v, want %v", i, q[i], want[i])
+		}
+	}
+	s := Summarize(v)
+	if s.N != 101 || s.Min != 0 || s.Max != 100 || !almostEq(s.P50, 50, 1e-9) {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if !almostEq(s.Mean, 50, 1e-9) {
+		t.Errorf("Summary mean = %v", s.Mean)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median(Vector{1, 3, 2}); got != 2 {
+		t.Errorf("Median odd = %v", got)
+	}
+	if got := Median(Vector{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Median even = %v", got)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := Vector{0, 1, 2, 3}
+	y := Vector{1, 3, 5, 7} // y = 2x + 1
+	slope, intercept := LinearFit(x, y)
+	if !almostEq(slope, 2, 1e-12) || !almostEq(intercept, 1, 1e-12) {
+		t.Errorf("LinearFit = %v, %v", slope, intercept)
+	}
+	s, b := LinearFit(Vector{1, 1, 1}, Vector{1, 2, 3})
+	if s != 0 || b != 2 {
+		t.Errorf("LinearFit degenerate = %v, %v", s, b)
+	}
+}
+
+func TestClampLerp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp wrong")
+	}
+	if Lerp(0, 10, 0.3) != 3 {
+		t.Error("Lerp wrong")
+	}
+}
+
+// Property: Pearson is symmetric and bounded in [-1, 1].
+func TestPearsonPropertySymmetricBounded(t *testing.T) {
+	f := func(xs [12]float64, ys [12]float64) bool {
+		x := make(Vector, 12)
+		y := make(Vector, 12)
+		for i := 0; i < 12; i++ {
+			// Clamp magnitudes so products do not overflow.
+			x[i] = math.Mod(xs[i], 1e6)
+			y[i] = math.Mod(ys[i], 1e6)
+			if math.IsNaN(x[i]) {
+				x[i] = 0
+			}
+			if math.IsNaN(y[i]) {
+				y[i] = 0
+			}
+		}
+		a, b := Pearson(x, y), Pearson(y, x)
+		return almostEq(a, b, 1e-9) && a >= -1.0000001 && a <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: R2 of a prediction equal to actual is always 1.
+func TestR2PropertyPerfect(t *testing.T) {
+	f := func(xs [8]float64) bool {
+		v := make(Vector, 8)
+		for i := range v {
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+				return true
+			}
+			v[i] = math.Mod(xs[i], 1e9)
+		}
+		return R2(v, v.Clone()) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Percentile is monotone in p.
+func TestPercentilePropertyMonotone(t *testing.T) {
+	f := func(xs [10]float64, p1, p2 float64) bool {
+		v := make(Vector, 10)
+		for i := range v {
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+				return true
+			}
+			v[i] = xs[i]
+		}
+		a := math.Mod(math.Abs(p1), 100)
+		b := math.Mod(math.Abs(p2), 100)
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(v, a) <= Percentile(v, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

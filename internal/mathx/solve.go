@@ -1,0 +1,89 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveLinear solves A·x = b for x using Gaussian elimination with partial
+// pivoting. A is n×n and is not modified; b has length n. It returns an
+// error when the system is singular to working precision.
+func SolveLinear(a *Matrix, b Vector) (Vector, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return nil, fmt.Errorf("mathx: SolveLinear shape mismatch (%dx%d, b %d)", a.Rows, a.Cols, len(b))
+	}
+	// Working copies.
+	m := a.Clone()
+	x := b.Clone()
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("mathx: singular system at column %d", col)
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				m.Data[col*n+j], m.Data[pivot*n+j] = m.Data[pivot*n+j], m.Data[col*n+j]
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		// Eliminate below.
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Data[r*n+j] -= f * m.Data[col*n+j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		for j := r + 1; j < n; j++ {
+			s -= m.At(r, j) * x[j]
+		}
+		x[r] = s / m.At(r, r)
+	}
+	return x, nil
+}
+
+// RidgeFit fits w minimizing ‖X·w − y‖² + λ‖w‖² where X is rows×features
+// (each row one sample, a bias column is NOT added automatically) and y has
+// one target per row. λ must be positive, which also guarantees solvability.
+func RidgeFit(rows []Vector, y Vector, lambda float64) (Vector, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("mathx: RidgeFit with no rows")
+	}
+	if len(rows) != len(y) {
+		return nil, fmt.Errorf("mathx: RidgeFit rows %d vs targets %d", len(rows), len(y))
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("mathx: RidgeFit needs positive lambda")
+	}
+	d := len(rows[0])
+	xtx := NewMatrix(d, d)
+	xty := NewVector(d)
+	for i, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("mathx: RidgeFit row %d has %d features, want %d", i, len(r), d)
+		}
+		xtx.AddOuter(1, r, r)
+		xty.AddScaled(y[i], r)
+	}
+	for j := 0; j < d; j++ {
+		xtx.Data[j*d+j] += lambda
+	}
+	return SolveLinear(xtx, xty)
+}

@@ -1,0 +1,125 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveLinearKnown(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{2, 1, 1, 3})
+	x, err := SolveLinear(a, Vector{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=5, x+3y=10 → x=1, y=3
+	if !almostEq(x[0], 1, 1e-9) || !almostEq(x[1], 3, 1e-9) {
+		t.Errorf("x = %v", x)
+	}
+	// Inputs untouched.
+	if a.At(0, 0) != 2 {
+		t.Error("SolveLinear mutated A")
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{0, 1, 1, 0}) // zero on the diagonal
+	x, err := SolveLinear(a, Vector{7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 9, 1e-9) || !almostEq(x[1], 7, 1e-9) {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{1, 2, 2, 4})
+	if _, err := SolveLinear(a, Vector{1, 2}); err == nil {
+		t.Error("expected singularity error")
+	}
+}
+
+func TestSolveLinearShapeMismatch(t *testing.T) {
+	if _, err := SolveLinear(NewMatrix(2, 3), Vector{1, 2}); err == nil {
+		t.Error("expected shape error")
+	}
+	if _, err := SolveLinear(NewMatrix(2, 2), Vector{1}); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+// Property: for random well-conditioned systems, A·x ≈ b.
+func TestSolveLinearPropertyResidual(t *testing.T) {
+	f := func(raw [9]int8, braw [3]int8) bool {
+		a := NewMatrix(3, 3)
+		for i, v := range raw {
+			a.Data[i] = float64(v) / 16
+		}
+		// Diagonal dominance for conditioning.
+		for i := 0; i < 3; i++ {
+			a.Data[i*3+i] += 10
+		}
+		b := Vector{float64(braw[0]), float64(braw[1]), float64(braw[2])}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		r := NewVector(3)
+		a.MulVec(r, x)
+		return math.Abs(r[0]-b[0])+math.Abs(r[1]-b[1])+math.Abs(r[2]-b[2]) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRidgeFitRecoversLinearModel(t *testing.T) {
+	// y = 3*x0 - 2*x1 + 1 (bias folded in as a constant feature).
+	var rows []Vector
+	var y Vector
+	for i := 0; i < 50; i++ {
+		x0, x1 := float64(i%7), float64((i*3)%5)
+		rows = append(rows, Vector{x0, x1, 1})
+		y = append(y, 3*x0-2*x1+1)
+	}
+	w, err := RidgeFit(rows, y, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(w[0], 3, 1e-3) || !almostEq(w[1], -2, 1e-3) || !almostEq(w[2], 1, 1e-3) {
+		t.Errorf("w = %v", w)
+	}
+}
+
+func TestRidgeFitRegularizes(t *testing.T) {
+	// Collinear features: pure least squares is singular, ridge is fine.
+	rows := []Vector{{1, 1}, {2, 2}, {3, 3}}
+	y := Vector{2, 4, 6}
+	w, err := RidgeFit(rows, y, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weight mass splits across the collinear pair.
+	if !almostEq(w[0], w[1], 1e-9) {
+		t.Errorf("collinear weights should match: %v", w)
+	}
+}
+
+func TestRidgeFitErrors(t *testing.T) {
+	if _, err := RidgeFit(nil, nil, 1); err == nil {
+		t.Error("expected empty error")
+	}
+	if _, err := RidgeFit([]Vector{{1}}, Vector{1, 2}, 1); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := RidgeFit([]Vector{{1}}, Vector{1}, 0); err == nil {
+		t.Error("expected lambda error")
+	}
+	if _, err := RidgeFit([]Vector{{1}, {1, 2}}, Vector{1, 2}, 1); err == nil {
+		t.Error("expected ragged-row error")
+	}
+}

@@ -1,0 +1,188 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson linear correlation coefficient between x and y.
+// It returns 0 when either series has zero variance or the lengths differ
+// from each other or are < 2.
+func Pearson(x, y Vector) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// R2 returns the coefficient of determination of predictions pred against
+// observations actual: 1 - SS_res/SS_tot. A perfect predictor scores 1;
+// predicting the mean scores 0; worse-than-mean predictors score negative.
+// If actual has zero variance the function returns 1 when predictions are
+// exact and 0 otherwise.
+func R2(actual, pred Vector) float64 {
+	checkLen(len(actual), len(pred))
+	if len(actual) == 0 {
+		return 0
+	}
+	m := Mean(actual)
+	var ssRes, ssTot float64
+	for i := range actual {
+		r := actual[i] - pred[i]
+		ssRes += r * r
+		d := actual[i] - m
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// MAE returns the mean absolute error between actual and pred.
+func MAE(actual, pred Vector) float64 {
+	checkLen(len(actual), len(pred))
+	if len(actual) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range actual {
+		s += math.Abs(actual[i] - pred[i])
+	}
+	return s / float64(len(actual))
+}
+
+// RMSE returns the root mean squared error between actual and pred.
+func RMSE(actual, pred Vector) float64 {
+	checkLen(len(actual), len(pred))
+	if len(actual) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range actual {
+		d := actual[i] - pred[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(actual)))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of v using linear
+// interpolation between closest ranks. The input is not modified.
+// Panics on an empty vector.
+func Percentile(v Vector, p float64) float64 {
+	if len(v) == 0 {
+		panic("mathx: Percentile of empty vector")
+	}
+	s := v.Clone()
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+// PercentileSorted is like Percentile but assumes v is already sorted
+// ascending, avoiding the copy and sort.
+func PercentileSorted(v Vector, p float64) float64 {
+	if len(v) == 0 {
+		panic("mathx: PercentileSorted of empty vector")
+	}
+	return percentileSorted(v, p)
+}
+
+func percentileSorted(s Vector, p float64) float64 {
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile of v.
+func Median(v Vector) float64 { return Percentile(v, 50) }
+
+// Quantiles returns the requested percentiles of v in one pass (one sort).
+func Quantiles(v Vector, ps ...float64) Vector {
+	if len(v) == 0 {
+		panic("mathx: Quantiles of empty vector")
+	}
+	s := v.Clone()
+	sort.Float64s(s)
+	out := make(Vector, len(ps))
+	for i, p := range ps {
+		out[i] = percentileSorted(s, p)
+	}
+	return out
+}
+
+// Summary holds basic distribution statistics.
+type Summary struct {
+	N                  int
+	Mean, Std          float64
+	Min, P25, P50, P75 float64
+	P90, P99, P999     float64
+	Max                float64
+}
+
+// Summarize computes a Summary of v. Panics on an empty vector.
+func Summarize(v Vector) Summary {
+	if len(v) == 0 {
+		panic("mathx: Summarize of empty vector")
+	}
+	s := v.Clone()
+	sort.Float64s(s)
+	return Summary{
+		N:    len(s),
+		Mean: Mean(s),
+		Std:  Std(s),
+		Min:  s[0],
+		P25:  percentileSorted(s, 25),
+		P50:  percentileSorted(s, 50),
+		P75:  percentileSorted(s, 75),
+		P90:  percentileSorted(s, 90),
+		P99:  percentileSorted(s, 99),
+		P999: percentileSorted(s, 99.9),
+		Max:  s[len(s)-1],
+	}
+}
+
+// LinearFit returns the slope and intercept of the least-squares line
+// y = slope*x + intercept. With fewer than two points or zero x-variance it
+// returns (0, mean(y)).
+func LinearFit(x, y Vector) (slope, intercept float64) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, Mean(y)
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx float64
+	for i := range x {
+		dx := x[i] - mx
+		sxy += dx * (y[i] - my)
+		sxx += dx * dx
+	}
+	if sxx == 0 {
+		return 0, my
+	}
+	slope = sxy / sxx
+	return slope, my - slope*mx
+}

@@ -1,0 +1,251 @@
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"adrias/internal/dataset"
+	"adrias/internal/mathx"
+	"adrias/internal/memsys"
+)
+
+// This file implements the non-deep baselines that back the paper's "Why
+// Deep Learning?" discussion (§VII): a persistence forecaster and ridge
+// regression, for both the system-state and the performance prediction
+// tasks. The ablation experiment compares them against the stacked LSTMs.
+
+// PersistencePredict forecasts the horizon mean of each metric as the mean
+// of the history window — the canonical no-model baseline for
+// autocorrelated series.
+func PersistencePredict(past []mathx.Vector) mathx.Vector {
+	if len(past) == 0 {
+		return nil
+	}
+	m := mathx.NewVector(len(past[0]))
+	for _, r := range past {
+		m.Add(r)
+	}
+	return m.Scale(1 / float64(len(past)))
+}
+
+// RidgeSysModel is a linear (ridge) system-state forecaster over the
+// flattened, log-normalized history window, one regression per metric.
+type RidgeSysModel struct {
+	Lambda  float64
+	weights []mathx.Vector // one weight vector per output metric
+	normIn  *dataset.Normalizer
+	normOut *dataset.Normalizer
+	steps   int
+	// lo/hi clamp predictions (normalized log space) to the training target
+	// range: a linear model extrapolates freely and the exp inverse would
+	// turn rare excursions into absurd raw values.
+	lo, hi mathx.Vector
+}
+
+// NewRidgeSysModel returns an untrained ridge forecaster.
+func NewRidgeSysModel(lambda float64) *RidgeSysModel {
+	if lambda <= 0 {
+		lambda = 1
+	}
+	return &RidgeSysModel{Lambda: lambda}
+}
+
+// features flattens a normalized log window plus a bias term.
+func (m *RidgeSysModel) features(past []mathx.Vector) mathx.Vector {
+	out := make(mathx.Vector, 0, len(past)*memsys.NumMetrics+1)
+	for _, r := range m.normIn.TransformSeq(logSeq(past)) {
+		out = append(out, r...)
+	}
+	return append(out, 1)
+}
+
+// Fit trains the per-metric regressions on the selected windows.
+func (m *RidgeSysModel) Fit(windows []dataset.Window, trainIdx []int) error {
+	if len(trainIdx) == 0 {
+		return fmt.Errorf("models: ridge fit with empty training set")
+	}
+	var inRows, outRows []mathx.Vector
+	for _, i := range trainIdx {
+		inRows = append(inRows, logSeq(windows[i].Past)...)
+		outRows = append(outRows, logVec(windows[i].FutureMean))
+	}
+	m.normIn = dataset.FitNormalizer(inRows)
+	m.normOut = dataset.FitNormalizer(outRows)
+	m.steps = len(windows[trainIdx[0]].Past)
+
+	rows := make([]mathx.Vector, len(trainIdx))
+	targets := make([]mathx.Vector, len(trainIdx))
+	m.lo = mathx.NewVector(memsys.NumMetrics)
+	m.hi = mathx.NewVector(memsys.NumMetrics)
+	m.lo.Fill(math.Inf(1))
+	m.hi.Fill(math.Inf(-1))
+	for k, i := range trainIdx {
+		rows[k] = m.features(windows[i].Past)
+		targets[k] = m.normOut.Transform(logVec(windows[i].FutureMean))
+		for j, v := range targets[k] {
+			m.lo[j] = math.Min(m.lo[j], v)
+			m.hi[j] = math.Max(m.hi[j], v)
+		}
+	}
+	m.weights = make([]mathx.Vector, memsys.NumMetrics)
+	y := mathx.NewVector(len(trainIdx))
+	for j := 0; j < memsys.NumMetrics; j++ {
+		for k := range targets {
+			y[k] = targets[k][j]
+		}
+		w, err := mathx.RidgeFit(rows, y, m.Lambda)
+		if err != nil {
+			return fmt.Errorf("models: ridge fit metric %d: %w", j, err)
+		}
+		m.weights[j] = w
+	}
+	return nil
+}
+
+// Predict forecasts the horizon means (raw metric units).
+func (m *RidgeSysModel) Predict(past []mathx.Vector) mathx.Vector {
+	if m.weights == nil {
+		panic("models: RidgeSysModel.Predict before Fit")
+	}
+	x := m.features(past)
+	y := mathx.NewVector(memsys.NumMetrics)
+	for j := range y {
+		y[j] = mathx.Clamp(mathx.Dot(m.weights[j], x), m.lo[j], m.hi[j])
+	}
+	return expVec(m.normOut.Inverse(y))
+}
+
+// EvaluateSysBaseline scores any system-state predictor (LSTM, ridge,
+// persistence) with per-metric R² on the test windows.
+func EvaluateSysBaseline(predict func([]mathx.Vector) mathx.Vector,
+	windows []dataset.Window, testIdx []int) (perMetric mathx.Vector, avg float64) {
+	actual := make([]mathx.Vector, memsys.NumMetrics)
+	pred := make([]mathx.Vector, memsys.NumMetrics)
+	for _, i := range testIdx {
+		p := predict(windows[i].Past)
+		for j := 0; j < memsys.NumMetrics; j++ {
+			actual[j] = append(actual[j], windows[i].FutureMean[j])
+			pred[j] = append(pred[j], p[j])
+		}
+	}
+	perMetric = mathx.NewVector(memsys.NumMetrics)
+	for j := range perMetric {
+		perMetric[j] = mathx.R2(actual[j], pred[j])
+		avg += perMetric[j]
+	}
+	return perMetric, avg / float64(memsys.NumMetrics)
+}
+
+// RidgePerfModel is a linear performance predictor over [flattened history,
+// future state, mode, flattened signature], predicting log performance.
+type RidgePerfModel struct {
+	Lambda float64
+	Future FutureKind
+	sigs   *SignatureStore
+
+	w       mathx.Vector
+	normIn  *dataset.Normalizer
+	normOut *dataset.Normalizer
+	lo, hi  float64 // clamp range in normalized log space (see RidgeSysModel)
+}
+
+// NewRidgePerfModel returns an untrained linear performance predictor using
+// the given Ŝ source at both train and eval time.
+func NewRidgePerfModel(lambda float64, future FutureKind, sigs *SignatureStore) *RidgePerfModel {
+	if lambda <= 0 {
+		lambda = 1
+	}
+	return &RidgePerfModel{Lambda: lambda, Future: future, sigs: sigs}
+}
+
+func (m *RidgePerfModel) features(s *PerfSample) (mathx.Vector, error) {
+	sig, ok := m.sigs.Get(s.App)
+	if !ok {
+		return nil, fmt.Errorf("models: no signature for %q", s.App)
+	}
+	var out mathx.Vector
+	for _, r := range m.normIn.TransformSeq(logSeq(s.Past)) {
+		out = append(out, r...)
+	}
+	if f := s.Future(m.Future); f != nil {
+		out = append(out, m.normIn.Transform(logVec(f))...)
+	} else {
+		out = append(out, mathx.NewVector(memsys.NumMetrics)...)
+	}
+	out = append(out, s.Remote)
+	for _, r := range m.normIn.TransformSeq(logSeq(sig.Steps)) {
+		out = append(out, r...)
+	}
+	return append(out, 1), nil
+}
+
+// Fit trains the regression.
+func (m *RidgePerfModel) Fit(samples []PerfSample, trainIdx []int) error {
+	if len(trainIdx) == 0 {
+		return fmt.Errorf("models: ridge perf fit with empty training set")
+	}
+	var metricRows []mathx.Vector
+	for _, i := range trainIdx {
+		metricRows = append(metricRows, logSeq(samples[i].Past)...)
+		if f := samples[i].Future(m.Future); f != nil {
+			metricRows = append(metricRows, logVec(f))
+		}
+	}
+	for _, name := range m.sigs.Names() {
+		sig, _ := m.sigs.Get(name)
+		metricRows = append(metricRows, logSeq(sig.Steps)...)
+	}
+	m.normIn = dataset.FitNormalizer(metricRows)
+	var targets []mathx.Vector
+	for _, i := range trainIdx {
+		targets = append(targets, mathx.Vector{math.Log(samples[i].Perf)})
+	}
+	m.normOut = dataset.FitNormalizer(targets)
+
+	rows := make([]mathx.Vector, len(trainIdx))
+	y := mathx.NewVector(len(trainIdx))
+	m.lo, m.hi = math.Inf(1), math.Inf(-1)
+	for k, i := range trainIdx {
+		x, err := m.features(&samples[i])
+		if err != nil {
+			return err
+		}
+		rows[k] = x
+		y[k] = m.normOut.Transform(mathx.Vector{math.Log(samples[i].Perf)})[0]
+		m.lo = math.Min(m.lo, y[k])
+		m.hi = math.Max(m.hi, y[k])
+	}
+	w, err := mathx.RidgeFit(rows, y, m.Lambda)
+	if err != nil {
+		return fmt.Errorf("models: ridge perf fit: %w", err)
+	}
+	m.w = w
+	return nil
+}
+
+// Predict returns the predicted performance in natural units.
+func (m *RidgePerfModel) Predict(s *PerfSample) (float64, error) {
+	if m.w == nil {
+		return 0, fmt.Errorf("models: RidgePerfModel.Predict before Fit")
+	}
+	x, err := m.features(s)
+	if err != nil {
+		return 0, err
+	}
+	z := mathx.Clamp(mathx.Dot(m.w, x), m.lo, m.hi)
+	return math.Exp(m.normOut.Inverse(mathx.Vector{z})[0]), nil
+}
+
+// Evaluate scores the regression with R² on the test indices.
+func (m *RidgePerfModel) Evaluate(samples []PerfSample, testIdx []int) (float64, error) {
+	var actual, pred mathx.Vector
+	for _, i := range testIdx {
+		p, err := m.Predict(&samples[i])
+		if err != nil {
+			return 0, err
+		}
+		actual = append(actual, samples[i].Perf)
+		pred = append(pred, p)
+	}
+	return mathx.R2(actual, pred), nil
+}

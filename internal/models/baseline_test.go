@@ -1,0 +1,95 @@
+package models
+
+import (
+	"testing"
+
+	"adrias/internal/dataset"
+	"adrias/internal/mathx"
+	"adrias/internal/workload"
+)
+
+func TestPersistencePredict(t *testing.T) {
+	past := []mathx.Vector{{1, 10}, {3, 20}}
+	p := PersistencePredict(past)
+	if p[0] != 2 || p[1] != 15 {
+		t.Errorf("persistence = %v", p)
+	}
+	if PersistencePredict(nil) != nil {
+		t.Error("empty input should return nil")
+	}
+}
+
+func TestRidgeSysModelLearns(t *testing.T) {
+	results := smallCorpus(t, 3, 500)
+	spec := dataset.WindowSpec{Hist: 60, Horizon: 60, Stride: 10, Hop: 7}
+	var windows []dataset.Window
+	for _, r := range results {
+		ws, err := dataset.FromHistory(r.History, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		windows = append(windows, ws...)
+	}
+	train, test := dataset.Split(len(windows), 0.6, 11)
+	m := NewRidgeSysModel(1e-2)
+	if err := m.Fit(windows, train); err != nil {
+		t.Fatal(err)
+	}
+	_, avg := EvaluateSysBaseline(m.Predict, windows, test)
+	if avg < 0.3 {
+		t.Errorf("ridge sys R² = %v, want > 0.3", avg)
+	}
+	// Persistence should also carry signal but generally trail a fitted model
+	// on the raw scale; we only assert it is computable and sane here.
+	_, pAvg := EvaluateSysBaseline(PersistencePredict, windows, test)
+	t.Logf("ridge R² %.3f, persistence R² %.3f", avg, pAvg)
+	if pAvg < -1 {
+		t.Errorf("persistence R² suspiciously bad: %v", pAvg)
+	}
+}
+
+func TestRidgeSysPredictBeforeFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRidgeSysModel(1).Predict([]mathx.Vector{{0, 0, 0, 0, 0, 0, 0}})
+}
+
+func TestRidgePerfModelLearns(t *testing.T) {
+	be, sigs := buildPerfFixtures(t)
+	train, test := dataset.Split(len(be), 0.6, 13)
+	m := NewRidgePerfModel(1e-2, Future120Actual, sigs)
+	if err := m.Fit(be, train); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.Evaluate(be, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ridge perf R² = %.3f", r2)
+	if r2 < 0.1 {
+		t.Errorf("ridge perf R² = %v, want > 0.1", r2)
+	}
+}
+
+func TestRidgePerfModelErrors(t *testing.T) {
+	_, sigs := buildPerfFixtures(t)
+	m := NewRidgePerfModel(1e-2, Future120Actual, sigs)
+	if _, err := m.Predict(&PerfSample{App: "gmm"}); err == nil {
+		t.Error("expected error before Fit")
+	}
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("expected error on empty training set")
+	}
+	be, _ := buildPerfFixtures(t)
+	train, _ := dataset.Split(len(be), 0.6, 13)
+	if err := m.Fit(be, train); err != nil {
+		t.Fatal(err)
+	}
+	unknown := PerfSample{App: "mystery", Past: be[0].Past, Future120: be[0].Future120, Class: workload.BestEffort}
+	if _, err := m.Predict(&unknown); err == nil {
+		t.Error("expected error for unknown signature")
+	}
+}

@@ -1,0 +1,86 @@
+package models
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+
+	"adrias/internal/dataset"
+	"adrias/internal/mathx"
+	"adrias/internal/nn"
+)
+
+// normBlob is the gob wire format for a pair of normalizers.
+type normBlob struct {
+	InMean, InStd   []float64
+	OutMean, OutStd []float64
+}
+
+// saveModel writes the normalizers and parameters as one gob stream (a
+// gob.Decoder buffers ahead, so sections must share one encoder/decoder).
+func saveModel(w io.Writer, in, out *dataset.Normalizer, params []*nn.Param) error {
+	enc := gob.NewEncoder(w)
+	blob := normBlob{
+		InMean: in.Mean, InStd: in.Std,
+		OutMean: out.Mean, OutStd: out.Std,
+	}
+	if err := enc.Encode(blob); err != nil {
+		return fmt.Errorf("models: encoding normalizers: %w", err)
+	}
+	return nn.EncodeParamsTo(enc, params)
+}
+
+// loadModel is the counterpart of saveModel.
+func loadModel(r io.Reader, params []*nn.Param) (in, out *dataset.Normalizer, err error) {
+	dec := gob.NewDecoder(r)
+	var blob normBlob
+	if err := dec.Decode(&blob); err != nil {
+		return nil, nil, fmt.Errorf("models: decoding normalizers: %w", err)
+	}
+	if err := nn.DecodeParamsFrom(dec, params); err != nil {
+		return nil, nil, err
+	}
+	in = &dataset.Normalizer{Mean: mathx.Vector(blob.InMean), Std: mathx.Vector(blob.InStd)}
+	out = &dataset.Normalizer{Mean: mathx.Vector(blob.OutMean), Std: mathx.Vector(blob.OutStd)}
+	return in, out, nil
+}
+
+// The monitored events are heavy-tailed counters (flits/s swing over orders
+// of magnitude between idle and saturation), so both models work in
+// log1p space: it compresses the tails, keeps z-scores bounded, and makes
+// the inverse transform positivity-preserving.
+
+// logVec returns log1p of each element, treating negatives as zero.
+func logVec(v mathx.Vector) mathx.Vector {
+	out := mathx.NewVector(len(v))
+	for i, x := range v {
+		if x < 0 {
+			x = 0
+		}
+		out[i] = math.Log1p(x)
+	}
+	return out
+}
+
+// logSeq applies logVec to every row.
+func logSeq(seq []mathx.Vector) []mathx.Vector {
+	out := make([]mathx.Vector, len(seq))
+	for i, r := range seq {
+		out[i] = logVec(r)
+	}
+	return out
+}
+
+// expVec inverts logVec.
+func expVec(v mathx.Vector) mathx.Vector {
+	out := mathx.NewVector(len(v))
+	for i, x := range v {
+		y := math.Expm1(x)
+		if y < 0 {
+			y = 0
+		}
+		out[i] = y
+	}
+	return out
+}

@@ -1,0 +1,420 @@
+package models
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"adrias/internal/dataset"
+	"adrias/internal/mathx"
+	"adrias/internal/memsys"
+	"adrias/internal/nn"
+	"adrias/internal/randutil"
+	"adrias/internal/scenario"
+	"adrias/internal/workload"
+)
+
+// FutureKind selects which future-system-state vector Ŝ feeds the
+// performance model — the paper's Fig. 13b ablation axis.
+type FutureKind int
+
+const (
+	// FutureNone omits Ŝ ({None} in the paper; the input slot is zeroed).
+	FutureNone FutureKind = iota
+	// Future120Actual uses the actual metric means over the 120 s after
+	// deployment ({120}).
+	Future120Actual
+	// FutureExecActual uses the actual means over the full execution ({exec}).
+	FutureExecActual
+	// FuturePredicted propagates the system-state model's prediction ({Ŝ}).
+	FuturePredicted
+)
+
+// String implements fmt.Stringer.
+func (k FutureKind) String() string {
+	switch k {
+	case FutureNone:
+		return "None"
+	case Future120Actual:
+		return "120"
+	case FutureExecActual:
+		return "exec"
+	case FuturePredicted:
+		return "Ŝ"
+	default:
+		return fmt.Sprintf("FutureKind(%d)", int(k))
+	}
+}
+
+// PerfSample is one training/evaluation example for the performance model.
+type PerfSample struct {
+	App    string
+	Class  workload.Class
+	Remote float64 // deployment mode: 0 local, 1 remote
+	// Past is the resampled history window S before arrival.
+	Past []mathx.Vector
+	// Future120/FutureExec/FuturePred are the Ŝ variants.
+	Future120  mathx.Vector
+	FutureExec mathx.Vector
+	FuturePred mathx.Vector
+	// Perf is the target: execution time (BE, seconds) or p99 (LC, ms).
+	Perf float64
+}
+
+// Future returns the Ŝ vector for the given kind (nil for FutureNone).
+func (s *PerfSample) Future(kind FutureKind) mathx.Vector {
+	switch kind {
+	case Future120Actual:
+		return s.Future120
+	case FutureExecActual:
+		return s.FutureExec
+	case FuturePredicted:
+		return s.FuturePred
+	default:
+		return nil
+	}
+}
+
+// PerfDatasetSpec controls sample extraction from scenario results. It must
+// agree with the WindowSpec the system-state model was trained with so that
+// propagated predictions line up.
+type PerfDatasetSpec struct {
+	HistTicks   int // history window before arrival (paper: 120)
+	FutureTicks int // future window after arrival (paper: 120)
+	Stride      int // stride-block aggregation inside the history window
+}
+
+// DefaultPerfDatasetSpec mirrors the paper's 120 s windows with stride-10
+// aggregation (12 LSTM steps).
+func DefaultPerfDatasetSpec() PerfDatasetSpec {
+	return PerfDatasetSpec{HistTicks: 120, FutureTicks: 120, Stride: 10}
+}
+
+// WindowSpec returns the matching system-state window specification.
+func (s PerfDatasetSpec) WindowSpec() dataset.WindowSpec {
+	return dataset.WindowSpec{Hist: s.HistTicks, Horizon: s.FutureTicks, Stride: s.Stride, Hop: 1}
+}
+
+// BuildPerfSamples extracts performance samples from scenario results that
+// retained their history. Runs arriving before a full history window, and
+// iBench runs, are skipped. FuturePred is left nil; attach it with
+// AttachPredictions when evaluating the propagated-Ŝ variant.
+func BuildPerfSamples(results []scenario.Result, spec PerfDatasetSpec) []PerfSample {
+	var out []PerfSample
+	steps := spec.HistTicks / spec.Stride
+	for _, res := range results {
+		if len(res.History) == 0 {
+			continue
+		}
+		series := make([]mathx.Vector, len(res.History))
+		for i, r := range res.History {
+			series[i] = mathx.Vector(r.Sample.Vector())
+		}
+		for _, run := range res.Runs {
+			if run.Class == workload.Interference {
+				continue
+			}
+			arr := int(run.StartAt) // history tick index of arrival
+			if arr < spec.HistTicks || arr >= len(series) {
+				continue
+			}
+			past := ResampleSeq(series[arr-spec.HistTicks:arr], steps)
+			futEnd := arr + spec.FutureTicks
+			if futEnd > len(series) {
+				futEnd = len(series)
+			}
+			done := int(run.DoneAt)
+			if done <= arr {
+				done = arr + 1
+			}
+			if done > len(series) {
+				done = len(series)
+			}
+			perf := run.ExecTime
+			if run.Class == workload.LatencyCritical {
+				perf = run.P99Ms
+			}
+			remote := 0.0
+			if run.Tier == memsys.TierRemote {
+				remote = 1
+			}
+			out = append(out, PerfSample{
+				App:        run.Name,
+				Class:      run.Class,
+				Remote:     remote,
+				Past:       past,
+				Future120:  meanRows(series[arr:futEnd]),
+				FutureExec: meanRows(series[arr:done]),
+				Perf:       perf,
+			})
+		}
+	}
+	return out
+}
+
+func meanRows(rows []mathx.Vector) mathx.Vector {
+	if len(rows) == 0 {
+		return nil
+	}
+	m := mathx.NewVector(len(rows[0]))
+	for _, r := range rows {
+		m.Add(r)
+	}
+	return m.Scale(1 / float64(len(rows)))
+}
+
+// AttachPredictions fills every sample's FuturePred by propagating the
+// trained system-state model on the sample's past window.
+func AttachPredictions(samples []PerfSample, sys *SysStateModel) {
+	for i := range samples {
+		samples[i].FuturePred = sys.Predict(samples[i].Past)
+	}
+}
+
+// PerfConfig configures the performance model (Fig. 11b).
+type PerfConfig struct {
+	Hidden   int
+	BlockDim int
+	Dropout  float64
+	LR       float64
+	Epochs   int
+	Batch    int
+	Seed     int64
+	// TrainFuture/EvalFuture select the Ŝ source in each phase — the paper's
+	// {train,test} ablation pairs. The pragmatic deployment choice is
+	// {Future120Actual, FuturePredicted}.
+	TrainFuture FutureKind
+	EvalFuture  FutureKind
+}
+
+// DefaultPerfConfig returns the deployment configuration {120, Ŝ}.
+func DefaultPerfConfig() PerfConfig {
+	return PerfConfig{
+		Hidden:      24,
+		BlockDim:    48,
+		Dropout:     0.1,
+		LR:          1.5e-3,
+		Epochs:      14,
+		Batch:       32,
+		Seed:        1,
+		TrainFuture: Future120Actual,
+		EvalFuture:  FuturePredicted,
+	}
+}
+
+// PerfModel is the universal performance predictor — one instance for all
+// BE applications and one for all LC applications (paper §V-B2).
+type PerfModel struct {
+	Cfg  PerfConfig
+	sigs *SignatureStore
+
+	encS    *nn.SeqEncoder // encodes the past system state S
+	encK    *nn.SeqEncoder // encodes the application signature k
+	head    *nn.Sequential
+	normIn  *dataset.Normalizer // metric-space normalizer (S, Ŝ, k rows)
+	normOut *dataset.Normalizer // scalar target normalizer
+	trained bool
+}
+
+// NewPerfModel builds the twin-encoder architecture.
+func NewPerfModel(cfg PerfConfig, sigs *SignatureStore) *PerfModel {
+	rng := randutil.New(cfg.Seed)
+	m := &PerfModel{Cfg: cfg, sigs: sigs}
+	m.encS = nn.NewSeqEncoder(memsys.NumMetrics, cfg.Hidden, 2, rng)
+	m.encK = nn.NewSeqEncoder(memsys.NumMetrics, cfg.Hidden, 2, rng.Split(7))
+	hiddenDim := 2*cfg.Hidden + 1 + memsys.NumMetrics
+	m.head = nn.NewSequential(
+		nn.NonLinearBlock(hiddenDim, cfg.BlockDim, cfg.Dropout, rng.Split(1)),
+		nn.NonLinearBlock(cfg.BlockDim, cfg.BlockDim, cfg.Dropout, rng.Split(2)),
+		nn.NonLinearBlock(cfg.BlockDim, cfg.BlockDim, cfg.Dropout, rng.Split(3)),
+		nn.NewDense(cfg.BlockDim, 1, rng.Split(4)),
+	)
+	return m
+}
+
+// Params returns all trainable parameters.
+func (m *PerfModel) Params() []*nn.Param {
+	out := append(m.encS.Params(), m.encK.Params()...)
+	return append(out, m.head.Params()...)
+}
+
+// forward runs one sample through the network. future may be nil.
+func (m *PerfModel) forward(s *PerfSample, future mathx.Vector, train bool) (mathx.Vector, error) {
+	sig, ok := m.sigs.Get(s.App)
+	if !ok {
+		return nil, fmt.Errorf("models: no signature for %q", s.App)
+	}
+	hS := m.encS.Encode(m.normIn.TransformSeq(logSeq(s.Past)), train)
+	hK := m.encK.Encode(m.normIn.TransformSeq(logSeq(sig.Steps)), train)
+	x := mathx.NewVector(2*m.Cfg.Hidden + 1 + memsys.NumMetrics)
+	copy(x, hS)
+	copy(x[m.Cfg.Hidden:], hK)
+	x[2*m.Cfg.Hidden] = s.Remote
+	if future != nil {
+		copy(x[2*m.Cfg.Hidden+1:], m.normIn.Transform(logVec(future)))
+	}
+	return m.head.Forward(x, train), nil
+}
+
+// backward propagates the output gradient through head and both encoders.
+func (m *PerfModel) backward(g mathx.Vector) {
+	dx := m.head.Backward(g)
+	m.encS.BackwardFromLast(dx[:m.Cfg.Hidden].Clone())
+	m.encK.BackwardFromLast(dx[m.Cfg.Hidden : 2*m.Cfg.Hidden].Clone())
+}
+
+// Fit trains on the samples selected by trainIdx, using Cfg.TrainFuture as
+// the Ŝ source.
+func (m *PerfModel) Fit(samples []PerfSample, trainIdx []int) error {
+	if len(trainIdx) == 0 {
+		return fmt.Errorf("models: empty training set")
+	}
+	var metricRows []mathx.Vector
+	var targets []mathx.Vector
+	for _, i := range trainIdx {
+		s := &samples[i]
+		metricRows = append(metricRows, logSeq(s.Past)...)
+		if f := s.Future(m.Cfg.TrainFuture); f != nil {
+			metricRows = append(metricRows, logVec(f))
+		}
+		// Targets are positive and ratio-scaled (execution times stretch
+		// multiplicatively under interference), so train in log space.
+		targets = append(targets, mathx.Vector{math.Log(s.Perf)})
+	}
+	for _, name := range m.sigs.Names() {
+		sig, _ := m.sigs.Get(name)
+		metricRows = append(metricRows, logSeq(sig.Steps)...)
+	}
+	m.normIn = dataset.FitNormalizer(metricRows)
+	m.normOut = dataset.FitNormalizer(targets)
+
+	opt := nn.NewAdam(m.Cfg.LR)
+	params := m.Params()
+	rng := randutil.New(m.Cfg.Seed).Split(0xbee)
+	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
+		perm := rng.Shuffle(len(trainIdx))
+		batch := 0
+		for _, pi := range perm {
+			s := &samples[trainIdx[pi]]
+			f := s.Future(m.Cfg.TrainFuture)
+			if m.Cfg.TrainFuture != FutureNone && f == nil {
+				return fmt.Errorf("models: sample %s missing %v future", s.App, m.Cfg.TrainFuture)
+			}
+			y, err := m.forward(s, f, true)
+			if err != nil {
+				return err
+			}
+			target := m.normOut.Transform(mathx.Vector{math.Log(s.Perf)})
+			_, g := nn.MSELoss(y, target)
+			m.backward(g)
+			batch++
+			if batch == m.Cfg.Batch {
+				opt.Step(params, 1/float64(batch))
+				batch = 0
+			}
+		}
+		if batch > 0 {
+			opt.Step(params, 1/float64(batch))
+		}
+	}
+	m.trained = true
+	return nil
+}
+
+// Predict returns the predicted performance for one sample using the
+// configured evaluation Ŝ source.
+func (m *PerfModel) Predict(s *PerfSample) (float64, error) {
+	return m.PredictWith(s, m.Cfg.EvalFuture)
+}
+
+// PredictWith predicts using an explicit Ŝ source.
+func (m *PerfModel) PredictWith(s *PerfSample, kind FutureKind) (float64, error) {
+	if !m.trained {
+		return 0, fmt.Errorf("models: PerfModel.Predict before Fit/Load")
+	}
+	f := s.Future(kind)
+	if kind != FutureNone && f == nil {
+		return 0, fmt.Errorf("models: sample %s missing %v future", s.App, kind)
+	}
+	y, err := m.forward(s, f, false)
+	if err != nil {
+		return 0, err
+	}
+	out := math.Exp(m.normOut.Inverse(y)[0])
+	if math.IsNaN(out) || math.IsInf(out, 0) {
+		return 0, fmt.Errorf("models: non-finite prediction for %s", s.App)
+	}
+	return out, nil
+}
+
+// PerfEval summarizes evaluation of the performance model.
+type PerfEval struct {
+	R2        float64
+	R2Local   float64
+	R2Remote  float64
+	MAEByApp  map[string]float64
+	Actual    mathx.Vector
+	Predicted mathx.Vector
+}
+
+// Evaluate computes R² (overall and per mode) and per-app MAE on testIdx.
+func (m *PerfModel) Evaluate(samples []PerfSample, testIdx []int) (PerfEval, error) {
+	return m.EvaluateWith(samples, testIdx, m.Cfg.EvalFuture)
+}
+
+// EvaluateWith evaluates using an explicit Ŝ source.
+func (m *PerfModel) EvaluateWith(samples []PerfSample, testIdx []int, kind FutureKind) (PerfEval, error) {
+	ev := PerfEval{MAEByApp: make(map[string]float64)}
+	var aLoc, pLoc, aRem, pRem mathx.Vector
+	sumAbs := make(map[string]float64)
+	count := make(map[string]int)
+	for _, i := range testIdx {
+		s := &samples[i]
+		pred, err := m.PredictWith(s, kind)
+		if err != nil {
+			return ev, err
+		}
+		ev.Actual = append(ev.Actual, s.Perf)
+		ev.Predicted = append(ev.Predicted, pred)
+		if s.Remote == 1 {
+			aRem = append(aRem, s.Perf)
+			pRem = append(pRem, pred)
+		} else {
+			aLoc = append(aLoc, s.Perf)
+			pLoc = append(pLoc, pred)
+		}
+		sumAbs[s.App] += math.Abs(pred - s.Perf)
+		count[s.App]++
+	}
+	ev.R2 = mathx.R2(ev.Actual, ev.Predicted)
+	if len(aLoc) > 1 {
+		ev.R2Local = mathx.R2(aLoc, pLoc)
+	}
+	if len(aRem) > 1 {
+		ev.R2Remote = mathx.R2(aRem, pRem)
+	}
+	for app, s := range sumAbs {
+		ev.MAEByApp[app] = s / float64(count[app])
+	}
+	return ev, nil
+}
+
+// Save writes the trained weights and normalizers.
+func (m *PerfModel) Save(w io.Writer) error {
+	if !m.trained {
+		return fmt.Errorf("models: cannot save untrained PerfModel")
+	}
+	return saveModel(w, m.normIn, m.normOut, m.Params())
+}
+
+// Load restores a model saved with Save into this (same-config, same
+// signature store) instance.
+func (m *PerfModel) Load(r io.Reader) error {
+	normIn, normOut, err := loadModel(r, m.Params())
+	if err != nil {
+		return err
+	}
+	m.normIn, m.normOut = normIn, normOut
+	m.trained = true
+	return nil
+}

@@ -1,0 +1,187 @@
+// Package models implements the two stacked deep-learning models at the
+// heart of Adrias (paper §V-B2, Fig. 11):
+//
+//   - the system-state model, which forecasts the per-metric mean of the
+//     monitored performance events over the next horizon window from their
+//     history window; and
+//   - the performance model, which predicts an incoming application's
+//     performance (execution time for BE, 99th-percentile latency for LC)
+//     from the past system state S, the (predicted) future state Ŝ, the
+//     deployment mode, and the application's signature k.
+//
+// A signature is the application's metric trace captured while running
+// alone on remote memory — the fingerprint Adrias stores the first time it
+// sees an unknown workload.
+package models
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"adrias/internal/cluster"
+	"adrias/internal/mathx"
+	"adrias/internal/memsys"
+	"adrias/internal/workload"
+)
+
+// Signature is an application's resampled isolated-remote metric trace.
+type Signature struct {
+	Name  string
+	Steps []mathx.Vector // fixed-length sequence of metric vectors
+}
+
+// SignatureStore maps application names to captured signatures.
+type SignatureStore struct {
+	sigs map[string]Signature
+	// SeqLen is the fixed number of steps every signature is resampled to.
+	SeqLen int
+}
+
+// NewSignatureStore returns an empty store resampling to seqLen steps.
+func NewSignatureStore(seqLen int) *SignatureStore {
+	if seqLen <= 0 {
+		panic("models: signature SeqLen must be positive")
+	}
+	return &SignatureStore{sigs: make(map[string]Signature), SeqLen: seqLen}
+}
+
+// Has reports whether a signature for name exists.
+func (s *SignatureStore) Has(name string) bool {
+	_, ok := s.sigs[name]
+	return ok
+}
+
+// Get returns the signature for name.
+func (s *SignatureStore) Get(name string) (Signature, bool) {
+	sig, ok := s.sigs[name]
+	return sig, ok
+}
+
+// Put stores a signature, resampling the raw trace to SeqLen steps.
+func (s *SignatureStore) Put(name string, trace []mathx.Vector) error {
+	if len(trace) == 0 {
+		return fmt.Errorf("models: empty trace for signature %q", name)
+	}
+	s.sigs[name] = Signature{Name: name, Steps: ResampleSeq(trace, s.SeqLen)}
+	return nil
+}
+
+// Names returns the stored application names, sorted.
+func (s *SignatureStore) Names() []string {
+	out := make([]string, 0, len(s.sigs))
+	for n := range s.sigs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sigBlob is the gob wire format of a signature store.
+type sigBlob struct {
+	SeqLen int
+	Sigs   map[string][][]float64
+}
+
+// Save writes the store in gob format.
+func (s *SignatureStore) Save(w io.Writer) error {
+	blob := sigBlob{SeqLen: s.SeqLen, Sigs: make(map[string][][]float64, len(s.sigs))}
+	for name, sig := range s.sigs {
+		rows := make([][]float64, len(sig.Steps))
+		for i, r := range sig.Steps {
+			rows[i] = append([]float64(nil), r...)
+		}
+		blob.Sigs[name] = rows
+	}
+	return gob.NewEncoder(w).Encode(blob)
+}
+
+// Load replaces the store's contents with a previously saved snapshot.
+func (s *SignatureStore) Load(r io.Reader) error {
+	var blob sigBlob
+	if err := gob.NewDecoder(r).Decode(&blob); err != nil {
+		return fmt.Errorf("models: decoding signatures: %w", err)
+	}
+	if blob.SeqLen <= 0 {
+		return fmt.Errorf("models: invalid signature SeqLen %d", blob.SeqLen)
+	}
+	s.SeqLen = blob.SeqLen
+	s.sigs = make(map[string]Signature, len(blob.Sigs))
+	for name, rows := range blob.Sigs {
+		steps := make([]mathx.Vector, len(rows))
+		for i, r := range rows {
+			steps[i] = mathx.Vector(r)
+		}
+		s.sigs[name] = Signature{Name: name, Steps: steps}
+	}
+	return nil
+}
+
+// ResampleSeq block-averages seq down (or repeats up) to exactly n steps.
+func ResampleSeq(seq []mathx.Vector, n int) []mathx.Vector {
+	if len(seq) == 0 || n <= 0 {
+		return nil
+	}
+	out := make([]mathx.Vector, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(seq) / n
+		hi := (i + 1) * len(seq) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		m := mathx.NewVector(len(seq[0]))
+		for _, r := range seq[lo:hi] {
+			m.Add(r)
+		}
+		out[i] = m.Scale(1 / float64(hi-lo))
+	}
+	return out
+}
+
+// CaptureSignature runs profile p alone on remote memory on a fresh
+// simulated testbed and returns its metric trace — the paper's procedure
+// for unknown applications ("schedules it on the remote memory, captures
+// and stores the respective metrics").
+func CaptureSignature(p *workload.Profile, seed int64) ([]mathx.Vector, error) {
+	cfg := cluster.DefaultConfig()
+	cfg.Seed = seed
+	c := cluster.New(cfg)
+	in := c.Deploy(p, memsys.TierRemote)
+	// LC apps run long; a capped capture window is plenty for a fingerprint.
+	const captureCap = 600
+	horizon := captureCap
+	if p.Class != workload.LatencyCritical {
+		horizon = int(p.BaseExecSec*p.RemotePenaltyIso*3) + 10
+	}
+	c.Run(float64(horizon))
+	_ = in
+	var trace []mathx.Vector
+	for _, r := range c.History() {
+		if in.Done() && r.Time > in.DoneAt {
+			break
+		}
+		trace = append(trace, mathx.Vector(r.Sample.Vector()))
+	}
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("models: no trace captured for %s", p.Name)
+	}
+	return trace, nil
+}
+
+// BuildSignatures captures signatures for every profile in the registry's
+// examined-application set (BE + LC) into a new store.
+func BuildSignatures(reg *workload.Registry, seqLen int, seed int64) (*SignatureStore, error) {
+	store := NewSignatureStore(seqLen)
+	apps := append(append([]*workload.Profile(nil), reg.Spark()...), reg.LC()...)
+	for i, p := range apps {
+		trace, err := CaptureSignature(p, seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		if err := store.Put(p.Name, trace); err != nil {
+			return nil, err
+		}
+	}
+	return store, nil
+}

@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"math"
+
+	"adrias/internal/mathx"
+)
+
+// MSELoss returns the mean squared error between prediction and target and
+// the gradient with respect to the prediction.
+func MSELoss(pred, target mathx.Vector) (loss float64, grad mathx.Vector) {
+	if len(pred) != len(target) {
+		panic("nn: MSELoss length mismatch")
+	}
+	grad = mathx.NewVector(len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		loss += d * d
+		grad[i] = 2 * d / float64(len(pred))
+	}
+	return loss / float64(len(pred)), grad
+}
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using the accumulated gradients, then clears
+	// them. scale divides the gradients first (1/batchSize).
+	Step(params []*Param, scale float64)
+}
+
+// SGD is plain stochastic gradient descent with optional gradient clipping.
+type SGD struct {
+	LR   float64
+	Clip float64 // max gradient L2 norm per parameter tensor; 0 disables
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param, scale float64) {
+	for _, p := range params {
+		if p.Frozen {
+			p.G.Zero()
+			continue
+		}
+		applyScaleClip(p.G, scale, s.Clip)
+		p.W.AddScaled(-s.LR, p.G)
+		p.G.Zero()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction and
+// optional gradient clipping, the paper's de-facto training setup.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	Clip                  float64
+	t                     int
+}
+
+// NewAdam returns Adam with the customary defaults and the given learning
+// rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, Clip: 5}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param, scale float64) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		if p.Frozen {
+			p.G.Zero()
+			continue
+		}
+		applyScaleClip(p.G, scale, a.Clip)
+		if p.M == nil {
+			p.M = mathx.NewMatrix(p.W.Rows, p.W.Cols)
+			p.V = mathx.NewMatrix(p.W.Rows, p.W.Cols)
+		}
+		for i, g := range p.G.Data {
+			p.M.Data[i] = a.Beta1*p.M.Data[i] + (1-a.Beta1)*g
+			p.V.Data[i] = a.Beta2*p.V.Data[i] + (1-a.Beta2)*g*g
+			mHat := p.M.Data[i] / c1
+			vHat := p.V.Data[i] / c2
+			p.W.Data[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+		p.G.Zero()
+	}
+}
+
+// applyScaleClip scales the gradient tensor and clips its L2 norm.
+func applyScaleClip(g *mathx.Matrix, scale, clip float64) {
+	if scale != 1 {
+		for i := range g.Data {
+			g.Data[i] *= scale
+		}
+	}
+	if clip <= 0 {
+		return
+	}
+	var norm float64
+	for _, x := range g.Data {
+		norm += x * x
+	}
+	norm = math.Sqrt(norm)
+	if norm > clip {
+		f := clip / norm
+		for i := range g.Data {
+			g.Data[i] *= f
+		}
+	}
+}

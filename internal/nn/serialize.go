@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// paramBlob is the gob wire format for one parameter tensor.
+type paramBlob struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// SaveParams writes the parameter tensors (weights only, including frozen
+// state tensors) to w in gob format.
+func SaveParams(w io.Writer, params []*Param) error {
+	return EncodeParamsTo(gob.NewEncoder(w), params)
+}
+
+// EncodeParamsTo writes the tensors through an existing encoder, so callers
+// can pack several sections into one gob stream (a gob.Decoder buffers
+// ahead, making back-to-back independent streams on one reader unsafe).
+func EncodeParamsTo(enc *gob.Encoder, params []*Param) error {
+	blobs := make([]paramBlob, len(params))
+	for i, p := range params {
+		blobs[i] = paramBlob{
+			Name: p.Name,
+			Rows: p.W.Rows,
+			Cols: p.W.Cols,
+			Data: append([]float64(nil), p.W.Data...),
+		}
+	}
+	return enc.Encode(blobs)
+}
+
+// LoadParams reads tensors written by SaveParams into the given parameters,
+// which must match in count, order, name, and shape — i.e. the model must be
+// constructed with the same architecture before loading.
+func LoadParams(r io.Reader, params []*Param) error {
+	return DecodeParamsFrom(gob.NewDecoder(r), params)
+}
+
+// DecodeParamsFrom is the decoder-sharing counterpart of EncodeParamsTo.
+func DecodeParamsFrom(dec *gob.Decoder, params []*Param) error {
+	var blobs []paramBlob
+	if err := dec.Decode(&blobs); err != nil {
+		return fmt.Errorf("nn: decoding params: %w", err)
+	}
+	if len(blobs) != len(params) {
+		return fmt.Errorf("nn: param count mismatch: file has %d, model has %d", len(blobs), len(params))
+	}
+	for i, b := range blobs {
+		p := params[i]
+		if b.Name != p.Name || b.Rows != p.W.Rows || b.Cols != p.W.Cols {
+			return fmt.Errorf("nn: param %d mismatch: file %s[%dx%d], model %s[%dx%d]",
+				i, b.Name, b.Rows, b.Cols, p.Name, p.W.Rows, p.W.Cols)
+		}
+		copy(p.W.Data, b.Data)
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	add := func(name string, at Time) {
+		e.Schedule(at, name, func(*Engine) { order = append(order, name) })
+	}
+	add("c", 3)
+	add("a", 1)
+	add("b", 2)
+	e.Run(10)
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now = %v, want 10", e.Now())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(2, "tie", func(*Engine) { order = append(order, i) })
+	}
+	e.Run(3)
+	if !sort.IntsAreSorted(order) {
+		t.Errorf("same-time events must fire FIFO, got %v", order)
+	}
+}
+
+func TestTicksFire(t *testing.T) {
+	e := NewEngine(0.5)
+	var ticks []Time
+	e.OnTick(func(now, dt Time) {
+		ticks = append(ticks, now)
+		if dt != 0.5 {
+			t.Errorf("dt = %v", dt)
+		}
+	})
+	e.Run(2)
+	want := []Time{0.5, 1, 1.5, 2}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestEventBeforeTickOnBoundary(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.OnTick(func(now, dt Time) {
+		if now == 1 {
+			order = append(order, "tick")
+		}
+	})
+	e.Schedule(1, "ev", func(*Engine) { order = append(order, "ev") })
+	e.Run(1)
+	if len(order) != 2 || order[0] != "ev" || order[1] != "tick" {
+		t.Errorf("order = %v, want [ev tick]", order)
+	}
+}
+
+func TestScheduleAfterAndChaining(t *testing.T) {
+	e := NewEngine(10)
+	var fired []Time
+	var chain func(*Engine)
+	n := 0
+	chain = func(en *Engine) {
+		fired = append(fired, en.Now())
+		n++
+		if n < 3 {
+			en.ScheduleAfter(1.5, "chain", chain)
+		}
+	}
+	e.ScheduleAfter(1, "chain", chain)
+	e.Run(100)
+	want := []Time{1, 2.5, 4}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Errorf("fired = %v, want %v", fired, want)
+			break
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(5, "x", func(*Engine) { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Cancel(nil)
+	e.Run(10)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Schedule(1, "a", func(*Engine) { order = append(order, "a") })
+	ev := e.Schedule(2, "b", func(*Engine) { order = append(order, "b") })
+	e.Schedule(3, "c", func(*Engine) { order = append(order, "c") })
+	e.Cancel(ev)
+	e.Run(5)
+	if len(order) != 2 || order[0] != "a" || order[1] != "c" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Schedule(1, "a", func(en *Engine) { count++; en.Stop() })
+	e.Schedule(2, "b", func(*Engine) { count++ })
+	e.Run(10)
+	if count != 1 {
+		t.Errorf("count = %d, want 1 (stopped)", count)
+	}
+	if e.Now() != 1 {
+		t.Errorf("Now = %v", e.Now())
+	}
+	// Run again resumes.
+	e.Run(10)
+	if count != 2 {
+		t.Errorf("count after resume = %d", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(5, "x", func(*Engine) {})
+	e.Run(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	e.Schedule(1, "past", func(*Engine) {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay should panic")
+		}
+	}()
+	NewEngine(1).ScheduleAfter(-1, "x", func(*Engine) {})
+}
+
+func TestBadTickPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero tick period should panic")
+		}
+	}()
+	NewEngine(0)
+}
+
+func TestRunUntilIdle(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var reschedule func(*Engine)
+	reschedule = func(en *Engine) {
+		count++
+		if count < 5 {
+			en.ScheduleAfter(1, "r", reschedule)
+		}
+	}
+	e.ScheduleAfter(1, "r", reschedule)
+	if err := e.RunUntilIdle(100); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestRunUntilIdleCap(t *testing.T) {
+	e := NewEngine(1)
+	var forever func(*Engine)
+	forever = func(en *Engine) { en.ScheduleAfter(1, "f", forever) }
+	e.ScheduleAfter(1, "f", forever)
+	if err := e.RunUntilIdle(10); err == nil {
+		t.Error("expected cap error")
+	}
+}
+
+func TestEventsFiredCounter(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 7; i++ {
+		e.Schedule(Time(i)+0.5, "x", func(*Engine) {})
+	}
+	e.Run(100)
+	if e.EventsFired() != 7 {
+		t.Errorf("EventsFired = %d", e.EventsFired())
+	}
+}
+
+// Property: for any set of event times within the horizon, events fire in
+// non-decreasing time order and all fire.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(times [16]uint16) bool {
+		e := NewEngine(7)
+		var fired []Time
+		for _, raw := range times {
+			at := Time(raw%1000) / 10
+			e.Schedule(at, "p", func(en *Engine) { fired = append(fired, en.Now()) })
+		}
+		e.Run(101)
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,328 @@
+// Package workload models the applications the Adrias paper deploys on the
+// disaggregated testbed: latency-critical (LC) in-memory stores (Redis,
+// Memcached) driven by a memtier-style closed-loop load generator,
+// best-effort (BE) Spark/HiBench analytics, and the iBench interference
+// microbenchmarks (cpu, l2, l3, memBw).
+//
+// Each application is described by a Profile — its static resource appetite
+// and sensitivity parameters, calibrated against the paper's
+// characterization (Fig. 3–5, Fig. 9–10) — and executed as an Instance that
+// converts the profile into per-tick memsys.Demand and integrates progress
+// under the slowdown the node reports back.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"adrias/internal/memsys"
+)
+
+// Class partitions workloads the way the paper does.
+type Class int
+
+const (
+	// BestEffort workloads (Spark analytics) want throughput; their metric
+	// is total execution time.
+	BestEffort Class = iota
+	// LatencyCritical workloads (Redis, Memcached) have QoS constraints on
+	// tail latency; their metric is the 99th/99.9th percentile.
+	LatencyCritical
+	// Interference workloads are iBench resource-trashing microbenchmarks.
+	Interference
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case BestEffort:
+		return "BE"
+	case LatencyCritical:
+		return "LC"
+	case Interference:
+		return "iBench"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Profile is the static description of an application.
+type Profile struct {
+	Name  string
+	Class Class
+
+	// BaseExecSec is the isolated-local execution time (BE and Interference;
+	// for Interference it is the hog's default lifetime).
+	BaseExecSec float64
+
+	// LC service model.
+	TotalOps      float64 // requests to serve in one run
+	MaxOpsPerSec  float64 // saturation throughput of one instance
+	TargetOpsRate float64 // constant offered load (closed-loop memtier)
+	BaseP50Ms     float64 // median response time, isolated local, light load
+	LatSigma      float64 // lognormal shape of the response distribution
+	RemoteLatFrac float64 // relative median increase on unloaded remote
+
+	// Resource appetite.
+	CPUCores      float64
+	FootprintGB   float64 // resident heap, charged against the tier's pool
+	WorkingSetMB  float64 // LLC-competing working set
+	LocalBwBps    float64 // memory traffic at full speed on local DRAM (B/s)
+	RemoteBwBps   float64 // latency-bound offered fabric traffic (B/s)
+	MissRatioIso  float64
+	WriteFraction float64
+
+	// Sensitivities.
+	CacheSens        float64 // direct slowdown per unit of extra miss ratio
+	BwSens           float64 // share of time sensitive to bandwidth starvation
+	RemotePenaltyIso float64 // isolated remote/local slowdown (Fig. 4), ≥ 1
+	InterfSens       float64 // global damping: LC < 1 (R5 "more resistant")
+}
+
+// Validate reports profile calibration errors.
+func (p *Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: profile without name")
+	case p.Class == BestEffort && p.BaseExecSec <= 0:
+		return fmt.Errorf("workload %s: BE needs BaseExecSec", p.Name)
+	case p.Class == LatencyCritical && (p.TotalOps <= 0 || p.MaxOpsPerSec <= 0 || p.TargetOpsRate <= 0 || p.BaseP50Ms <= 0):
+		return fmt.Errorf("workload %s: LC needs ops/latency model", p.Name)
+	case p.MissRatioIso < 0 || p.MissRatioIso > 1:
+		return fmt.Errorf("workload %s: MissRatioIso %g out of [0,1]", p.Name, p.MissRatioIso)
+	case p.WriteFraction < 0 || p.WriteFraction > 1:
+		return fmt.Errorf("workload %s: WriteFraction %g out of [0,1]", p.Name, p.WriteFraction)
+	case p.RemotePenaltyIso < 1:
+		return fmt.Errorf("workload %s: RemotePenaltyIso %g must be ≥ 1", p.Name, p.RemotePenaltyIso)
+	case p.InterfSens <= 0:
+		return fmt.Errorf("workload %s: InterfSens must be positive", p.Name)
+	case p.FootprintGB < 0:
+		return fmt.Errorf("workload %s: FootprintGB must be non-negative", p.Name)
+	}
+	return nil
+}
+
+// Demand converts the profile into a memsys.Demand for the given tier.
+// On the remote tier the offered traffic is latency-bound (a single
+// application cannot push the fabric far beyond its published per-tenant
+// rates), which is why RemoteBwBps is calibrated separately.
+func (p *Profile) Demand(tier memsys.Tier) memsys.Demand {
+	bw := p.LocalBwBps
+	if tier == memsys.TierRemote {
+		bw = p.RemoteBwBps
+	}
+	accessRate := 0.0
+	if p.MissRatioIso > 0 {
+		accessRate = bw / (p.MissRatioIso * 128)
+	}
+	return memsys.Demand{
+		CPUCores:         p.CPUCores,
+		WorkingSetBytes:  p.WorkingSetMB * 1e6,
+		AccessRate:       accessRate,
+		MissRatioIso:     p.MissRatioIso,
+		WriteFraction:    p.WriteFraction,
+		Tier:             tier,
+		CacheSens:        p.CacheSens,
+		BwSens:           p.BwSens,
+		RemotePenaltyIso: p.RemotePenaltyIso,
+	}
+}
+
+// sparkSpec is the calibration row for one HiBench benchmark.
+type sparkSpec struct {
+	name      string
+	execSec   float64 // isolated-local execution time (small dataset)
+	remotePen float64 // Fig. 4: isolated remote/local slowdown
+	cacheSens float64 // R6: LLC vitality
+	bwSens    float64
+	wsMB      float64
+	localBw   float64 // B/s
+	remoteBw  float64 // B/s, latency-bound
+	miss      float64
+	wrFrac    float64
+}
+
+// The 17 HiBench workloads (paper §IV-A), calibrated to the published
+// shapes: nweight and lr suffer ≈2× on remote, gmm and pca < 10 %, the
+// fleet averages ≈20–25 % (Fig. 4); nweight/sort/kmeans show stacking
+// sensitivity (R7); most BE apps are LLC-sensitive (R6).
+var sparkSpecs = []sparkSpec{
+	{"nweight", 85, 2.05, 0.9, 1.0, 24, 3.0e9, 0.110e9, 0.45, 0.35},
+	{"lr", 60, 1.90, 0.7, 1.0, 18, 2.6e9, 0.100e9, 0.40, 0.30},
+	{"sort", 55, 1.35, 0.9, 0.9, 20, 2.2e9, 0.080e9, 0.50, 0.45},
+	{"terasort", 70, 1.30, 0.8, 0.9, 22, 2.0e9, 0.075e9, 0.50, 0.45},
+	{"kmeans", 50, 1.28, 0.9, 0.8, 16, 1.8e9, 0.070e9, 0.35, 0.25},
+	{"pagerank", 75, 1.22, 0.7, 0.8, 18, 1.6e9, 0.060e9, 0.40, 0.30},
+	{"bayes", 45, 1.18, 0.6, 0.7, 12, 1.4e9, 0.055e9, 0.35, 0.30},
+	{"als", 65, 1.16, 0.6, 0.7, 12, 1.3e9, 0.050e9, 0.30, 0.25},
+	{"svd", 55, 1.15, 0.5, 0.6, 10, 1.2e9, 0.045e9, 0.30, 0.25},
+	{"wordcount", 35, 1.14, 0.5, 0.6, 8, 1.1e9, 0.045e9, 0.35, 0.30},
+	{"rf", 60, 1.12, 0.5, 0.5, 8, 1.0e9, 0.040e9, 0.25, 0.20},
+	{"gbt", 65, 1.12, 0.4, 0.5, 8, 0.9e9, 0.035e9, 0.25, 0.20},
+	{"svm", 50, 1.10, 0.4, 0.5, 6, 0.8e9, 0.030e9, 0.25, 0.20},
+	{"linear", 40, 1.10, 0.4, 0.4, 6, 0.8e9, 0.030e9, 0.25, 0.20},
+	{"lda", 55, 1.08, 0.3, 0.4, 5, 0.6e9, 0.025e9, 0.20, 0.20},
+	{"pca", 45, 1.07, 0.3, 0.3, 4, 0.5e9, 0.020e9, 0.20, 0.20},
+	{"gmm", 50, 1.04, 0.2, 0.3, 4, 0.4e9, 0.015e9, 0.20, 0.20},
+}
+
+func sparkProfile(s sparkSpec) *Profile {
+	return &Profile{
+		Name:             s.name,
+		Class:            BestEffort,
+		BaseExecSec:      s.execSec,
+		CPUCores:         8, // 2 executors × 4 threads (paper footnote 3)
+		FootprintGB:      2 + s.wsMB/4,
+		WorkingSetMB:     s.wsMB,
+		LocalBwBps:       s.localBw,
+		RemoteBwBps:      s.remoteBw,
+		MissRatioIso:     s.miss,
+		WriteFraction:    s.wrFrac,
+		CacheSens:        s.cacheSens,
+		BwSens:           s.bwSens,
+		RemotePenaltyIso: s.remotePen,
+		InterfSens:       1,
+	}
+}
+
+func redisProfile() *Profile {
+	return &Profile{
+		Name:          "redis",
+		Class:         LatencyCritical,
+		TotalOps:      8e6, // 4 threads × 200 clients × 10 000 requests
+		MaxOpsPerSec:  60e3,
+		TargetOpsRate: 30e3, // ≈30 kops/s served (paper §IV-A)
+		BaseP50Ms:     0.45,
+		LatSigma:      0.55,
+		RemoteLatFrac: 0.06, // local ≈ remote curves (Fig. 3)
+		CPUCores:      4,
+		FootprintGB:   8,
+		WorkingSetMB:  6,
+		LocalBwBps:    0.25e9,
+		RemoteBwBps:   0.03e9,
+		MissRatioIso:  0.45, // pointer chasing: poor locality (R6)
+		WriteFraction: 0.09, // SET:GET = 1:10
+		CacheSens:     0.25,
+		BwSens:        0.8,
+		// In-memory caches do many small accesses with low bandwidth needs
+		// (R4), so the unloaded remote penalty is tiny.
+		RemotePenaltyIso: 1.05,
+		InterfSens:       0.45, // R5: LC more resistant
+	}
+}
+
+func memcachedProfile() *Profile {
+	return &Profile{
+		Name:             "memcached",
+		Class:            LatencyCritical,
+		TotalOps:         32e6, // 800 clients × 40 000 requests
+		MaxOpsPerSec:     200e3,
+		TargetOpsRate:    100e3, // ≈100 kops/s served
+		BaseP50Ms:        0.18,
+		LatSigma:         0.5,
+		RemoteLatFrac:    0.05,
+		CPUCores:         4,
+		FootprintGB:      6,
+		WorkingSetMB:     5,
+		LocalBwBps:       0.35e9,
+		RemoteBwBps:      0.04e9,
+		MissRatioIso:     0.40,
+		WriteFraction:    0.09,
+		CacheSens:        0.2,
+		BwSens:           0.8,
+		RemotePenaltyIso: 1.04,
+		InterfSens:       0.5,
+	}
+}
+
+// iBench microbenchmarks (paper [24]): one profile per trashed resource.
+func ibenchProfiles() []*Profile {
+	return []*Profile{
+		{
+			Name: "ibench-cpu", Class: Interference, BaseExecSec: 120,
+			CPUCores: 1, FootprintGB: 0.5, WorkingSetMB: 0.2,
+			LocalBwBps: 1e6, RemoteBwBps: 1e6, MissRatioIso: 0.05,
+			WriteFraction: 0.3, CacheSens: 0, BwSens: 0.2,
+			RemotePenaltyIso: 1.02, InterfSens: 1,
+		},
+		{
+			Name: "ibench-l2", Class: Interference, BaseExecSec: 120,
+			CPUCores: 1, FootprintGB: 0.5, WorkingSetMB: 2,
+			LocalBwBps: 0.2e9, RemoteBwBps: 0.02e9, MissRatioIso: 0.15,
+			WriteFraction: 0.4, CacheSens: 0.1, BwSens: 0.5,
+			RemotePenaltyIso: 1.05, InterfSens: 1,
+		},
+		{
+			Name: "ibench-l3", Class: Interference, BaseExecSec: 120,
+			CPUCores: 1, FootprintGB: 1, WorkingSetMB: 12,
+			LocalBwBps: 1.2e9, RemoteBwBps: 0.06e9, MissRatioIso: 0.5,
+			WriteFraction: 0.4, CacheSens: 0.2, BwSens: 0.7,
+			RemotePenaltyIso: 1.15, InterfSens: 1,
+		},
+		{
+			Name: "ibench-membw", Class: Interference, BaseExecSec: 120,
+			CPUCores: 1, FootprintGB: 1, WorkingSetMB: 30,
+			LocalBwBps: 7e9, RemoteBwBps: 0.075e9, MissRatioIso: 1,
+			WriteFraction: 0.35, CacheSens: 0, BwSens: 1,
+			RemotePenaltyIso: 1.10, InterfSens: 1,
+		},
+	}
+}
+
+// Registry gives access to all calibrated profiles by name and class.
+type Registry struct {
+	byName map[string]*Profile
+	names  []string
+}
+
+// NewRegistry builds the full profile registry (17 Spark + 2 LC + 4 iBench).
+func NewRegistry() *Registry {
+	r := &Registry{byName: make(map[string]*Profile)}
+	for _, s := range sparkSpecs {
+		r.add(sparkProfile(s))
+	}
+	r.add(redisProfile())
+	r.add(memcachedProfile())
+	for _, p := range ibenchProfiles() {
+		r.add(p)
+	}
+	return r
+}
+
+func (r *Registry) add(p *Profile) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := r.byName[p.Name]; dup {
+		panic("workload: duplicate profile " + p.Name)
+	}
+	r.byName[p.Name] = p
+	r.names = append(r.names, p.Name)
+	sort.Strings(r.names)
+}
+
+// ByName returns the named profile, or nil if unknown.
+func (r *Registry) ByName(name string) *Profile { return r.byName[name] }
+
+// Names returns all profile names in sorted order.
+func (r *Registry) Names() []string { return append([]string(nil), r.names...) }
+
+// ByClass returns the profiles of one class, sorted by name.
+func (r *Registry) ByClass(c Class) []*Profile {
+	var out []*Profile
+	for _, n := range r.names {
+		if p := r.byName[n]; p.Class == c {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Spark returns the 17 BE profiles.
+func (r *Registry) Spark() []*Profile { return r.ByClass(BestEffort) }
+
+// LC returns the latency-critical profiles.
+func (r *Registry) LC() []*Profile { return r.ByClass(LatencyCritical) }
+
+// IBench returns the interference microbenchmark profiles.
+func (r *Registry) IBench() []*Profile { return r.ByClass(Interference) }
