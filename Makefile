@@ -1,0 +1,31 @@
+# Mirrors .github/workflows/ci.yml: each target is one CI job, so a green
+# `make ci` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: one iteration of the CI smoke benchmarks (full suite: make bench BENCH=.)
+BENCH ?= ^(BenchmarkTable1SystemState|BenchmarkPerfFitWorkers)$$
+bench:
+	$(GO) test -run='^$$' -bench='$(BENCH)' -benchtime=1x .
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build fmt vet test race bench

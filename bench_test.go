@@ -14,12 +14,16 @@ package adrias_test
 // The fuller campaigns live in cmd/adrias-bench (-scale medium|paper).
 
 import (
+	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
 
+	"adrias/internal/dataset"
 	"adrias/internal/experiments"
+	"adrias/internal/models"
 )
 
 var (
@@ -192,4 +196,43 @@ func BenchmarkFig17QoS(b *testing.B) {
 // §VI-B's closing paragraph.
 func BenchmarkTrafficReduction(b *testing.B) {
 	runExperiment(b, "traffic")
+}
+
+// BenchmarkPerfFitWorkers trains the BE performance model on the suite's
+// corpus with a sequential (workers=1) and a fully parallel
+// (workers=GOMAXPROCS) trainer, so CI records the data-parallel speedup on
+// real model training rather than a synthetic net. On a single-core host
+// only the workers=1 sub-benchmark runs.
+func BenchmarkPerfFitWorkers(b *testing.B) {
+	s := suiteForBench()
+	sys, err := s.System()
+	if err != nil {
+		b.Fatal(err)
+	}
+	be, _, err := s.PerfSamples()
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, _ := dataset.Split(len(be), 0.6, 1)
+
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := s.Scale.Perf
+			cfg.Workers = w
+			// Train on actual futures so the benchmark does not depend on
+			// attached Ŝ predictions.
+			cfg.TrainFuture = models.Future120Actual
+			cfg.EvalFuture = models.Future120Actual
+			for i := 0; i < b.N; i++ {
+				m := models.NewPerfModel(cfg, sys.Pred.Sigs)
+				if err := m.Fit(be, train); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -114,20 +114,31 @@ func (s *Suite) Fig13() (*Report, error) {
 		{"{exec,exec}", models.FutureExecActual, models.FutureExecActual},
 		{"{120,Ŝ}", models.Future120Actual, models.FuturePredicted},
 	}
-	r2 := map[string]float64{}
-	var deployEval models.PerfEval
-	for _, pair := range pairs {
+	// Each {train,test} pair trains an independent model on the shared
+	// read-only sample set — run the folds concurrently and report in
+	// order afterwards.
+	evals := make([]models.PerfEval, len(pairs))
+	if err := parallelEach(len(pairs), func(k int) error {
 		cfg := s.Scale.Perf
-		cfg.TrainFuture = pair.train
-		cfg.EvalFuture = pair.eval
+		cfg.TrainFuture = pairs[k].train
+		cfg.EvalFuture = pairs[k].eval
 		m := models.NewPerfModel(cfg, sysModel.Pred.Sigs)
 		if err := m.Fit(be, trainIdx); err != nil {
-			return nil, err
+			return err
 		}
 		ev, err := m.Evaluate(be, testIdx)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		evals[k] = ev
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	r2 := map[string]float64{}
+	var deployEval models.PerfEval
+	for k, pair := range pairs {
+		ev := evals[k]
 		r2[pair.name] = ev.R2
 		r.Addf("ablation %-12s R² = %.3f (local %.3f, remote %.3f)",
 			pair.name, ev.R2, ev.R2Local, ev.R2Remote)
@@ -228,30 +239,49 @@ func (s *Suite) Fig15() (*Report, error) {
 		cfg.Epochs = s.Scale.LOOEpochs
 	}
 
-	var looScores mathx.Vector
-	for _, app := range looApps {
+	// Each leave-one-out fold trains an independent model — run the folds
+	// concurrently and report in app order afterwards.
+	type looResult struct {
+		r2      float64
+		heldOut int
+		skipped bool
+	}
+	looRes := make([]looResult, len(looApps))
+	if err := parallelEach(len(looApps), func(k int) error {
 		var trainIdx, testIdx []int
 		for i := range be {
-			if be[i].App == app {
+			if be[i].App == looApps[k] {
 				testIdx = append(testIdx, i)
 			} else {
 				trainIdx = append(trainIdx, i)
 			}
 		}
+		looRes[k].heldOut = len(testIdx)
 		if len(testIdx) < 5 {
-			r.Addf("LOO %-10s skipped (only %d held-out samples)", app, len(testIdx))
-			continue
+			looRes[k].skipped = true
+			return nil
 		}
 		m := models.NewPerfModel(cfg, sysModel.Pred.Sigs)
 		if err := m.Fit(be, trainIdx); err != nil {
-			return nil, err
+			return err
 		}
 		ev, err := m.Evaluate(be, testIdx)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		looScores = append(looScores, ev.R2)
-		r.Addf("LOO %-10s R² = %.3f (%d held-out samples)", app, ev.R2, len(testIdx))
+		looRes[k].r2 = ev.R2
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var looScores mathx.Vector
+	for k, app := range looApps {
+		if looRes[k].skipped {
+			r.Addf("LOO %-10s skipped (only %d held-out samples)", app, looRes[k].heldOut)
+			continue
+		}
+		looScores = append(looScores, looRes[k].r2)
+		r.Addf("LOO %-10s R² = %.3f (%d held-out samples)", app, looRes[k].r2, looRes[k].heldOut)
 	}
 	if len(looScores) >= 2 {
 		spread := mathx.Max(looScores) - mathx.Min(looScores)

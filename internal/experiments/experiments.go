@@ -8,8 +8,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"adrias"
 	"adrias/internal/models"
@@ -124,8 +126,8 @@ func Fast() Scale {
 			IBenchShare: 0.35, LCShare: 0.7, KeepHistory: true,
 		},
 		Window:         models.PerfDatasetSpec{HistTicks: 60, FutureTicks: 60, Stride: 10},
-		Sys:            models.SysStateConfig{Hidden: 16, BlockDim: 24, Dropout: 0, LR: 2e-3, Epochs: 12, Batch: 24, Seed: 3},
-		Perf:           models.PerfConfig{Hidden: 12, BlockDim: 24, Dropout: 0, LR: 2e-3, Epochs: 18, Batch: 24, Seed: 5, TrainFuture: models.Future120Actual, EvalFuture: models.FuturePredicted},
+		Sys:            models.SysStateConfig{Hidden: 16, BlockDim: 24, Dropout: 0, LR: 2e-3, Epochs: 12, Batch: 24, Seed: 3, Workers: autoWorkers()},
+		Perf:           models.PerfConfig{Hidden: 12, BlockDim: 24, Dropout: 0, LR: 2e-3, Epochs: 18, Batch: 24, Seed: 5, Workers: autoWorkers(), TrainFuture: models.Future120Actual, EvalFuture: models.FuturePredicted},
 		WindowHop:      9,
 		MaxWindows:     2500,
 		MaxPerfSamples: 1500,
@@ -158,8 +160,8 @@ func Medium() Scale {
 		IBenchShare: 0.35, LCShare: 0.7, KeepHistory: true,
 	}
 	s.Window = models.PerfDatasetSpec{HistTicks: 120, FutureTicks: 120, Stride: 10}
-	s.Sys = models.SysStateConfig{Hidden: 24, BlockDim: 48, Dropout: 0.05, LR: 1.5e-3, Epochs: 14, Batch: 32, Seed: 3}
-	s.Perf = models.PerfConfig{Hidden: 28, BlockDim: 56, Dropout: 0, LR: 1e-3, Epochs: 40, Batch: 32, Seed: 5, TrainFuture: models.Future120Actual, EvalFuture: models.FuturePredicted}
+	s.Sys = models.SysStateConfig{Hidden: 24, BlockDim: 48, Dropout: 0.05, LR: 1.5e-3, Epochs: 14, Batch: 32, Seed: 3, Workers: autoWorkers()}
+	s.Perf = models.PerfConfig{Hidden: 28, BlockDim: 56, Dropout: 0, LR: 1e-3, Epochs: 40, Batch: 32, Seed: 5, Workers: autoWorkers(), TrainFuture: models.Future120Actual, EvalFuture: models.FuturePredicted}
 	s.WindowHop = 17
 	s.MaxWindows = 5000
 	s.MaxPerfSamples = 3000
@@ -291,6 +293,54 @@ func (s *Suite) PerfSamples() (be, lc []models.PerfSample, err error) {
 	}
 	return s.beAll, s.lcAll, nil
 }
+
+// parallelEach runs f(0) … f(n-1) across at most GOMAXPROCS goroutines —
+// the harness for the embarrassingly parallel sweep loops (ablation pairs,
+// leave-one-out folds), whose tasks are mutually independent model
+// train/evaluate runs. Each task must write only its own slot of the
+// caller's result slice, so outputs are identical to the sequential loop.
+// The lowest-index error is returned; note that unlike a sequential loop,
+// tasks after a failing one may still have run.
+func parallelEach(n int, f func(i int) error) error {
+	W := runtime.GOMAXPROCS(0)
+	if W > n {
+		W = n
+	}
+	if W <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < W; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += W {
+				if errs[i] = f(i); errs[i] != nil {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// autoWorkers opts the campaigns' model training into the data-parallel
+// trainer whenever the host has multiple CPUs. The fast campaign trains
+// dropout-free, so there the parallel path differs from sequential
+// training only by floating-point summation order.
+func autoWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // medianOf returns the median of vals (0 for empty input).
 func medianOf(vals []float64) float64 {

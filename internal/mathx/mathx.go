@@ -212,6 +212,28 @@ func (m *Matrix) AddScaled(a float64, w *Matrix) {
 	}
 }
 
+// Add sets m = m + w, element-wise, without the scale multiply of
+// AddScaled — the hot path of gradient reduction across trainer replicas.
+// Panics on shape mismatch.
+func (m *Matrix) Add(w *Matrix) {
+	if m.Rows != w.Rows || m.Cols != w.Cols {
+		panic(fmt.Sprintf("mathx: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, w.Rows, w.Cols))
+	}
+	for i := range m.Data {
+		m.Data[i] += w.Data[i]
+	}
+}
+
+// CopyFrom overwrites m's elements with w's, reusing m's storage (no
+// allocation, unlike Clone) — the weight-broadcast path of the parallel
+// trainer. Panics on shape mismatch.
+func (m *Matrix) CopyFrom(w *Matrix) {
+	if m.Rows != w.Rows || m.Cols != w.Cols {
+		panic(fmt.Sprintf("mathx: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, w.Rows, w.Cols))
+	}
+	copy(m.Data, w.Data)
+}
+
 // MulVec computes dst = m · v. dst must have length m.Rows and v length
 // m.Cols. dst is returned for chaining. dst must not alias v.
 func (m *Matrix) MulVec(dst, v Vector) Vector {

@@ -152,6 +152,44 @@ func TestMatrixAtSetRowClone(t *testing.T) {
 	}
 }
 
+func TestMatrixAddCopyFrom(t *testing.T) {
+	m := NewMatrix(2, 2)
+	copy(m.Data, []float64{1, 2, 3, 4})
+	w := NewMatrix(2, 2)
+	copy(w.Data, []float64{10, 20, 30, 40})
+	m.Add(w)
+	want := []float64{11, 22, 33, 44}
+	for i, x := range want {
+		if m.Data[i] != x {
+			t.Fatalf("Add = %v, want %v", m.Data, want)
+		}
+	}
+	m.CopyFrom(w)
+	for i := range w.Data {
+		if m.Data[i] != w.Data[i] {
+			t.Fatalf("CopyFrom = %v, want %v", m.Data, w.Data)
+		}
+	}
+	m.Set(0, 0, 99)
+	if w.At(0, 0) == 99 {
+		t.Error("CopyFrom must not alias")
+	}
+
+	for name, f := range map[string]func(){
+		"Add":      func() { NewMatrix(2, 2).Add(NewMatrix(2, 3)) },
+		"CopyFrom": func() { NewMatrix(2, 2).CopyFrom(NewMatrix(3, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched shapes did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
 func TestMatrixAddScaledShapeMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

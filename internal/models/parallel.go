@@ -1,0 +1,37 @@
+package models
+
+import "runtime"
+
+// Worker-pool sizing for the two parallelism flavors in this package.
+//
+// Training parallelism is explicit (Config.Workers): sharding a minibatch
+// across replicas sums per-sample gradients in a different association
+// order than the sequential loop, so the worker count is part of the
+// experiment's reproducibility contract and defaults to sequential.
+//
+// Inference parallelism needs no knob: batch prediction is per-sample
+// deterministic and placement-invariant, so fanning out across CPUs
+// returns bit-identical results to the sequential loop.
+
+// trainWorkers resolves a config's Workers field: 0 (the zero value) and 1
+// both select the sequential path, bit-identical to the pre-parallel
+// trainer.
+func trainWorkers(cfg int) int {
+	if cfg < 1 {
+		return 1
+	}
+	return cfg
+}
+
+// inferWorkers sizes the batch-inference pool: one goroutine per available
+// CPU, never more than one per task.
+func inferWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

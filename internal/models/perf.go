@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"adrias/internal/dataset"
 	"adrias/internal/mathx"
@@ -164,10 +165,16 @@ func meanRows(rows []mathx.Vector) mathx.Vector {
 }
 
 // AttachPredictions fills every sample's FuturePred by propagating the
-// trained system-state model on the sample's past window.
+// trained system-state model on the sample's past window, across one model
+// clone per CPU (results are identical to the sequential loop).
 func AttachPredictions(samples []PerfSample, sys *SysStateModel) {
+	pasts := make([][]mathx.Vector, len(samples))
 	for i := range samples {
-		samples[i].FuturePred = sys.Predict(samples[i].Past)
+		pasts[i] = samples[i].Past
+	}
+	preds := sys.PredictBatch(pasts)
+	for i := range samples {
+		samples[i].FuturePred = preds[i]
 	}
 }
 
@@ -180,6 +187,13 @@ type PerfConfig struct {
 	Epochs   int
 	Batch    int
 	Seed     int64
+	// Workers sets the training worker-pool size. n ≥ 2 shards each
+	// minibatch across n model replicas with a deterministic ordered
+	// gradient reduction (seed-reproducible for a fixed n, but the
+	// per-sample gradients sum in a different order than sequentially);
+	// 0 or 1 trains sequentially, bit-identical to the pre-parallel
+	// trainer. Batch inference always parallelizes — see Evaluate.
+	Workers int
 	// TrainFuture/EvalFuture select the Ŝ source in each phase — the paper's
 	// {train,test} ablation pairs. The pragmatic deployment choice is
 	// {Future120Actual, FuturePredicted}.
@@ -263,8 +277,52 @@ func (m *PerfModel) backward(g mathx.Vector) {
 	m.encK.BackwardFromLast(dx[m.Cfg.Hidden : 2*m.Cfg.Hidden].Clone())
 }
 
+// cloneWith deep-copies the network, sharing the config, signature store,
+// and the fitted normalizers (all read-only after Fit). rng seeds the
+// clone's dropout streams.
+func (m *PerfModel) cloneWith(rng *randutil.Source) *PerfModel {
+	return &PerfModel{
+		Cfg:     m.Cfg,
+		sigs:    m.sigs,
+		encS:    m.encS.Clone(rng),
+		encK:    m.encK.Clone(rng),
+		head:    m.head.CloneSeq(rng),
+		normIn:  m.normIn,
+		normOut: m.normOut,
+		trained: m.trained,
+	}
+}
+
+// Clone returns a deep, independent copy of the model sharing no mutable
+// state with the original, so the copy can Predict (or train) concurrently
+// with it.
+func (m *PerfModel) Clone() *PerfModel {
+	return m.cloneWith(randutil.New(m.Cfg.Seed).Split(0xc2))
+}
+
+// step returns the per-sample forward/backward closure the trainer drives:
+// sample pi is a position into the shuffled permutation over trainIdx.
+func (m *PerfModel) step(samples []PerfSample, trainIdx []int) func(int) (float64, error) {
+	return func(pi int) (float64, error) {
+		s := &samples[trainIdx[pi]]
+		f := s.Future(m.Cfg.TrainFuture)
+		if m.Cfg.TrainFuture != FutureNone && f == nil {
+			return 0, fmt.Errorf("models: sample %s missing %v future", s.App, m.Cfg.TrainFuture)
+		}
+		y, err := m.forward(s, f, true)
+		if err != nil {
+			return 0, err
+		}
+		target := m.normOut.Transform(mathx.Vector{math.Log(s.Perf)})
+		loss, g := nn.MSELoss(y, target)
+		m.backward(g)
+		return loss, nil
+	}
+}
+
 // Fit trains on the samples selected by trainIdx, using Cfg.TrainFuture as
-// the Ŝ source.
+// the Ŝ source and sharding each minibatch across Cfg.Workers replicas
+// (sequentially for Workers ≤ 1).
 func (m *PerfModel) Fit(samples []PerfSample, trainIdx []int) error {
 	if len(trainIdx) == 0 {
 		return fmt.Errorf("models: empty training set")
@@ -288,33 +346,20 @@ func (m *PerfModel) Fit(samples []PerfSample, trainIdx []int) error {
 	m.normIn = dataset.FitNormalizer(metricRows)
 	m.normOut = dataset.FitNormalizer(targets)
 
-	opt := nn.NewAdam(m.Cfg.LR)
-	params := m.Params()
 	rng := randutil.New(m.Cfg.Seed).Split(0xbee)
-	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
-		perm := rng.Shuffle(len(trainIdx))
-		batch := 0
-		for _, pi := range perm {
-			s := &samples[trainIdx[pi]]
-			f := s.Future(m.Cfg.TrainFuture)
-			if m.Cfg.TrainFuture != FutureNone && f == nil {
-				return fmt.Errorf("models: sample %s missing %v future", s.App, m.Cfg.TrainFuture)
-			}
-			y, err := m.forward(s, f, true)
-			if err != nil {
-				return err
-			}
-			target := m.normOut.Transform(mathx.Vector{math.Log(s.Perf)})
-			_, g := nn.MSELoss(y, target)
-			m.backward(g)
-			batch++
-			if batch == m.Cfg.Batch {
-				opt.Step(params, 1/float64(batch))
-				batch = 0
-			}
+	tr := nn.NewTrainer(nn.NewAdam(m.Cfg.LR), m.Cfg.Batch, m.Params())
+	if W := trainWorkers(m.Cfg.Workers); W <= 1 {
+		tr.AddReplica(m.Params(), m.step(samples, trainIdx))
+	} else {
+		repRng := randutil.New(m.Cfg.Seed).Split(0x9a9)
+		for w := 0; w < W; w++ {
+			rep := m.cloneWith(repRng.Split(int64(w)))
+			tr.AddReplica(rep.Params(), rep.step(samples, trainIdx))
 		}
-		if batch > 0 {
-			opt.Step(params, 1/float64(batch))
+	}
+	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
+		if _, err := tr.Epoch(rng.Shuffle(len(trainIdx))); err != nil {
+			return err
 		}
 	}
 	m.trained = true
@@ -362,18 +407,68 @@ func (m *PerfModel) Evaluate(samples []PerfSample, testIdx []int) (PerfEval, err
 	return m.EvaluateWith(samples, testIdx, m.Cfg.EvalFuture)
 }
 
+// predictBatch runs PredictWith for every index, fanning the loop out
+// across model clones, one per available CPU. Predictions are per-sample
+// deterministic, so the result (and the first error, scanned in index
+// order) is identical to the sequential loop.
+func (m *PerfModel) predictBatch(samples []PerfSample, idx []int, kind FutureKind) (mathx.Vector, error) {
+	if !m.trained {
+		return nil, fmt.Errorf("models: PerfModel.Predict before Fit/Load")
+	}
+	preds := mathx.NewVector(len(idx))
+	W := inferWorkers(len(idx))
+	if W <= 1 {
+		for k, i := range idx {
+			p, err := m.PredictWith(&samples[i], kind)
+			if err != nil {
+				return nil, err
+			}
+			preds[k] = p
+		}
+		return preds, nil
+	}
+	errs := make([]error, len(idx))
+	var wg sync.WaitGroup
+	for w := 0; w < W; w++ {
+		rep := m
+		if w > 0 {
+			rep = m.Clone()
+		}
+		wg.Add(1)
+		go func(w int, rep *PerfModel) {
+			defer wg.Done()
+			for k := w; k < len(idx); k += W {
+				p, err := rep.PredictWith(&samples[idx[k]], kind)
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				preds[k] = p
+			}
+		}(w, rep)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return preds, nil
+}
+
 // EvaluateWith evaluates using an explicit Ŝ source.
 func (m *PerfModel) EvaluateWith(samples []PerfSample, testIdx []int, kind FutureKind) (PerfEval, error) {
 	ev := PerfEval{MAEByApp: make(map[string]float64)}
 	var aLoc, pLoc, aRem, pRem mathx.Vector
 	sumAbs := make(map[string]float64)
 	count := make(map[string]int)
-	for _, i := range testIdx {
+	preds, err := m.predictBatch(samples, testIdx, kind)
+	if err != nil {
+		return ev, err
+	}
+	for k, i := range testIdx {
 		s := &samples[i]
-		pred, err := m.PredictWith(s, kind)
-		if err != nil {
-			return ev, err
-		}
+		pred := preds[k]
 		ev.Actual = append(ev.Actual, s.Perf)
 		ev.Predicted = append(ev.Predicted, pred)
 		if s.Remote == 1 {

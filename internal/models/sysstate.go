@@ -3,6 +3,7 @@ package models
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"adrias/internal/dataset"
 	"adrias/internal/mathx"
@@ -21,6 +22,13 @@ type SysStateConfig struct {
 	Epochs   int
 	Batch    int
 	Seed     int64
+	// Workers sets the training worker-pool size. n ≥ 2 shards each
+	// minibatch across n model replicas with a deterministic ordered
+	// gradient reduction (seed-reproducible for a fixed n, but the
+	// per-sample gradients sum in a different order than sequentially);
+	// 0 or 1 trains sequentially, bit-identical to the pre-parallel
+	// trainer. Batch inference always parallelizes — see PredictBatch.
+	Workers int
 }
 
 // DefaultSysStateConfig returns a configuration that trains in seconds on
@@ -85,7 +93,45 @@ func (m *SysStateModel) Params() []*nn.Param {
 	return append(m.enc.Params(), m.head.Params()...)
 }
 
-// Fit trains the model on the windows selected by trainIdx.
+// cloneWith deep-copies the network, sharing the config, and the fitted
+// normalizers (read-only after Fit). rng seeds the clone's dropout stream.
+func (m *SysStateModel) cloneWith(rng *randutil.Source) *SysStateModel {
+	return &SysStateModel{
+		Cfg:     m.Cfg,
+		enc:     m.enc.Clone(rng),
+		head:    m.head.CloneSeq(rng),
+		normIn:  m.normIn,
+		normOut: m.normOut,
+		trained: m.trained,
+	}
+}
+
+// Clone returns a deep, independent copy of the model sharing no mutable
+// state with the original, so the copy can Predict (or train) concurrently
+// with it.
+func (m *SysStateModel) Clone() *SysStateModel {
+	return m.cloneWith(randutil.New(m.Cfg.Seed).Split(0xc1))
+}
+
+// step returns the per-sample forward/backward closure the trainer drives:
+// sample pi is a position into the shuffled permutation over idx.
+func (m *SysStateModel) step(windows []dataset.Window, idx []int) func(int) (float64, error) {
+	return func(pi int) (float64, error) {
+		w := windows[idx[pi]]
+		logPast := logSeq(w.Past)
+		xs := m.normIn.TransformSeq(logPast)
+		target := m.normOut.Transform(logVec(w.FutureMean))
+		h := m.enc.Encode(xs, true)
+		y := m.head.Forward(m.headInput(h, logPast), true)
+		loss, g := nn.MSELoss(y, target)
+		dh := m.head.Backward(g)
+		m.enc.BackwardFromLast(dh[:m.Cfg.Hidden].Clone())
+		return loss, nil
+	}
+}
+
+// Fit trains the model on the windows selected by trainIdx, sharding each
+// minibatch across Cfg.Workers replicas (sequentially for Workers ≤ 1).
 func (m *SysStateModel) Fit(windows []dataset.Window, trainIdx []int) error {
 	if len(trainIdx) == 0 {
 		return fmt.Errorf("models: empty training set")
@@ -100,31 +146,21 @@ func (m *SysStateModel) Fit(windows []dataset.Window, trainIdx []int) error {
 	m.normIn = dataset.FitNormalizer(inRows)
 	m.normOut = dataset.FitNormalizer(outRows)
 
-	opt := nn.NewAdam(m.Cfg.LR)
-	params := m.Params()
 	rng := randutil.New(m.Cfg.Seed).Split(0x7ea)
 	idx := append([]int(nil), trainIdx...)
-	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
-		perm := rng.Shuffle(len(idx))
-		batchCount := 0
-		for _, pi := range perm {
-			w := windows[idx[pi]]
-			logPast := logSeq(w.Past)
-			xs := m.normIn.TransformSeq(logPast)
-			target := m.normOut.Transform(logVec(w.FutureMean))
-			h := m.enc.Encode(xs, true)
-			y := m.head.Forward(m.headInput(h, logPast), true)
-			_, g := nn.MSELoss(y, target)
-			dh := m.head.Backward(g)
-			m.enc.BackwardFromLast(dh[:m.Cfg.Hidden].Clone())
-			batchCount++
-			if batchCount == m.Cfg.Batch {
-				opt.Step(params, 1/float64(batchCount))
-				batchCount = 0
-			}
+	tr := nn.NewTrainer(nn.NewAdam(m.Cfg.LR), m.Cfg.Batch, m.Params())
+	if W := trainWorkers(m.Cfg.Workers); W <= 1 {
+		tr.AddReplica(m.Params(), m.step(windows, idx))
+	} else {
+		repRng := randutil.New(m.Cfg.Seed).Split(0x9a9)
+		for w := 0; w < W; w++ {
+			rep := m.cloneWith(repRng.Split(int64(w)))
+			tr.AddReplica(rep.Params(), rep.step(windows, idx))
 		}
-		if batchCount > 0 {
-			opt.Step(params, 1/float64(batchCount))
+	}
+	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
+		if _, err := tr.Epoch(rng.Shuffle(len(idx))); err != nil {
+			return err
 		}
 	}
 	m.trained = true
@@ -142,6 +178,40 @@ func (m *SysStateModel) Predict(past []mathx.Vector) mathx.Vector {
 	h := m.enc.Encode(xs, false)
 	y := m.head.Forward(m.headInput(h, logPast), false)
 	return expVec(m.normOut.Inverse(y))
+}
+
+// PredictBatch forecasts every history window, fanning the loop out across
+// model clones, one per available CPU. Inference is deterministic and
+// per-sample, so the result is identical to sequential Predict calls —
+// only the wall time changes.
+func (m *SysStateModel) PredictBatch(pasts [][]mathx.Vector) []mathx.Vector {
+	if !m.trained {
+		panic("models: SysStateModel.PredictBatch before Fit/Load")
+	}
+	out := make([]mathx.Vector, len(pasts))
+	W := inferWorkers(len(pasts))
+	if W <= 1 {
+		for i, p := range pasts {
+			out[i] = m.Predict(p)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < W; w++ {
+		rep := m
+		if w > 0 {
+			rep = m.Clone()
+		}
+		wg.Add(1)
+		go func(w int, rep *SysStateModel) {
+			defer wg.Done()
+			for i := w; i < len(pasts); i += W {
+				out[i] = rep.Predict(pasts[i])
+			}
+		}(w, rep)
+	}
+	wg.Wait()
+	return out
 }
 
 // EvalResult holds per-metric evaluation of the system-state model. R² is
@@ -168,8 +238,13 @@ func (m *SysStateModel) Evaluate(windows []dataset.Window, testIdx []int) EvalRe
 	predCols := make([]mathx.Vector, memsys.NumMetrics)
 	actualLog := make([]mathx.Vector, memsys.NumMetrics)
 	predLog := make([]mathx.Vector, memsys.NumMetrics)
-	for _, i := range testIdx {
-		pred := m.Predict(windows[i].Past)
+	pasts := make([][]mathx.Vector, len(testIdx))
+	for k, i := range testIdx {
+		pasts[k] = windows[i].Past
+	}
+	preds := m.PredictBatch(pasts)
+	for k, i := range testIdx {
+		pred := preds[k]
 		res.Actual = append(res.Actual, windows[i].FutureMean.Clone())
 		res.Predicted = append(res.Predicted, pred)
 		la, lp := logVec(windows[i].FutureMean), logVec(pred)

@@ -51,7 +51,17 @@ func NewLSTM(in, hidden int, rng *randutil.Source) *LSTM {
 	return l
 }
 
-func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+// sigmoidClamp bounds the pre-activation fed to the logistic function.
+// Beyond ±36.7 the output already saturates to exactly 0 or 1 in float64;
+// clamping there keeps math.Exp out of its overflow region, so extreme
+// logits (diverging training, corrupt inputs) can never produce an Inf
+// intermediate.
+const sigmoidClamp = 40
+
+func sigmoid(x float64) float64 {
+	x = mathx.Clamp(x, -sigmoidClamp, sigmoidClamp)
+	return 1 / (1 + math.Exp(-x))
+}
 
 // ForwardSeq runs the layer over a sequence (oldest first) and returns the
 // hidden state at every step.

@@ -8,7 +8,9 @@
 // activations of the most recent forward pass, so a layer instance handles
 // one sample at a time (the trainer accumulates gradients across a
 // minibatch before stepping). Layers are not safe for concurrent use;
-// clone a model per goroutine if parallel inference is needed.
+// every layer supports Clone, and the Trainer uses per-goroutine clones to
+// shard minibatches across a worker pool with a deterministic, ordered
+// gradient reduction (see trainer.go).
 package nn
 
 import (
@@ -60,6 +62,11 @@ type Layer interface {
 	Backward(dy mathx.Vector) mathx.Vector
 	// Params returns the layer's trainable parameters (possibly empty).
 	Params() []*Param
+	// Clone returns a deep, independent copy: equal weights, zeroed
+	// gradients, fresh activation caches — safe to drive from another
+	// goroutine. Layers that draw randomness during training (Dropout)
+	// draw from rng; deterministic layers ignore it.
+	Clone(rng *randutil.Source) Layer
 }
 
 // Dense is a fully-connected layer: y = W·x + b.
