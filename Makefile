@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet ci
+.PHONY: build test race bench fmt vet serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -28,4 +28,9 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build fmt vet test race bench
+## serve-smoke: end-to-end smoke of the placement service (adrias-serve +
+## load generator): train fast models, serve, 100 requests, clean drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+ci: build fmt vet test race bench serve-smoke

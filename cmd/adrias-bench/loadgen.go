@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// loadGenOpts configures the adrias-serve load generator (-target mode).
+type loadGenOpts struct {
+	target     string
+	n          int
+	conc       int
+	rate       float64 // requests/s across all workers; 0 = closed loop
+	apps       []string
+	dryRun     bool
+	deadlineMs float64
+}
+
+type loadGenStats struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	status    map[int]int
+	tiers     map[string]int
+	transport int // requests that never got an HTTP response
+}
+
+func (s *loadGenStats) record(lat time.Duration, code int, tier string, transportErr bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if transportErr {
+		s.transport++
+		return
+	}
+	s.latencies = append(s.latencies, lat)
+	s.status[code]++
+	if tier != "" {
+		s.tiers[tier]++
+	}
+}
+
+// runLoadGen drives an adrias-serve instance and prints a latency /
+// placement-mix report. Returns a process exit code (non-zero when any
+// request failed at the transport level or returned a 5xx).
+func runLoadGen(o loadGenOpts) int {
+	if o.n <= 0 || o.conc <= 0 || len(o.apps) == 0 {
+		fmt.Fprintln(os.Stderr, "load generator: -n, -conc must be > 0 and -apps non-empty")
+		return 2
+	}
+	base := strings.TrimSuffix(o.target, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Work tokens, optionally paced to the target arrival rate. With no
+	// rate the generator is closed-loop: conc workers back to back.
+	work := make(chan int, o.conc)
+	go func() {
+		defer close(work)
+		var pace *time.Ticker
+		if o.rate > 0 {
+			pace = time.NewTicker(time.Duration(float64(time.Second) / o.rate))
+			defer pace.Stop()
+		}
+		for i := 0; i < o.n; i++ {
+			if pace != nil {
+				<-pace.C
+			}
+			work <- i
+		}
+	}()
+
+	stats := &loadGenStats{status: map[int]int{}, tiers: map[string]int{}}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < o.conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				app := o.apps[i%len(o.apps)]
+				body, _ := json.Marshal(map[string]any{
+					"app": app, "dry_run": o.dryRun, "deadline_ms": o.deadlineMs,
+				})
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/place", "application/json", bytes.NewReader(body))
+				lat := time.Since(t0)
+				if err != nil {
+					stats.record(0, 0, "", true)
+					continue
+				}
+				var out struct {
+					Tier string `json:"tier"`
+				}
+				_ = json.NewDecoder(resp.Body).Decode(&out)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				tier := ""
+				if resp.StatusCode == http.StatusOK {
+					tier = out.Tier
+				}
+				stats.record(lat, resp.StatusCode, tier, false)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("load generator: %d requests, %d workers", o.n, o.conc)
+	if o.rate > 0 {
+		fmt.Printf(", target %.1f req/s", o.rate)
+	}
+	fmt.Printf(" → %s\n", base)
+
+	sort.Slice(stats.latencies, func(i, j int) bool { return stats.latencies[i] < stats.latencies[j] })
+	if len(stats.latencies) > 0 {
+		q := func(p float64) time.Duration {
+			i := int(p * float64(len(stats.latencies)-1))
+			return stats.latencies[i]
+		}
+		fmt.Printf("latency: p50 %s  p90 %s  p99 %s  max %s\n",
+			q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+			q(0.99).Round(time.Microsecond), stats.latencies[len(stats.latencies)-1].Round(time.Microsecond))
+	}
+	fmt.Printf("throughput: %.1f req/s (%.2fs elapsed)\n",
+		float64(len(stats.latencies))/elapsed.Seconds(), elapsed.Seconds())
+
+	codes := make([]int, 0, len(stats.status))
+	for c := range stats.status {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	fmt.Printf("status:")
+	for _, c := range codes {
+		fmt.Printf("  %d×%d", c, stats.status[c])
+	}
+	if stats.transport > 0 {
+		fmt.Printf("  transport-error×%d", stats.transport)
+	}
+	fmt.Println()
+	fmt.Printf("placements: %d local, %d remote\n", stats.tiers["local"], stats.tiers["remote"])
+
+	bad := stats.transport
+	for c, n := range stats.status {
+		if c >= 500 {
+			bad += n
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "%d request(s) failed\n", bad)
+		return 1
+	}
+	return 0
+}

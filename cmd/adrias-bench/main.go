@@ -1,9 +1,13 @@
 // Command adrias-bench regenerates the paper's tables and figures on the
 // simulated testbed and prints paper-vs-measured reports with shape checks.
+// With -target it instead load-tests a running adrias-serve instance and
+// reports latency percentiles, status counts, and the placement mix.
 //
 // Usage:
 //
 //	adrias-bench [-scale fast|medium|paper] [-run id[,id...]] [-list]
+//	adrias-bench -target http://127.0.0.1:7700 [-n 200] [-conc 8]
+//	             [-rate 0] [-apps gmm,redis,...] [-dry-run] [-deadline-ms 0]
 package main
 
 import (
@@ -20,7 +24,27 @@ func main() {
 	scaleFlag := flag.String("scale", "medium", "campaign scale: fast, medium, or paper")
 	runFlag := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	listFlag := flag.Bool("list", false, "list experiment ids and exit")
+	targetFlag := flag.String("target", "", "adrias-serve base URL; when set, run the load generator instead of experiments")
+	nFlag := flag.Int("n", 200, "load generator: total requests")
+	concFlag := flag.Int("conc", 8, "load generator: concurrent workers")
+	rateFlag := flag.Float64("rate", 0, "load generator: target arrival rate, req/s (0: closed loop)")
+	appsFlag := flag.String("apps", "gmm,pagerank,redis,kmeans,wordcount", "load generator: comma-separated application mix")
+	dryRunFlag := flag.Bool("dry-run", true, "load generator: decide without deploying on the testbed")
+	deadlineFlag := flag.Float64("deadline-ms", 0, "load generator: per-request deadline, ms (0: server default)")
 	flag.Parse()
+
+	if *targetFlag != "" {
+		var apps []string
+		for _, a := range strings.Split(*appsFlag, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				apps = append(apps, a)
+			}
+		}
+		os.Exit(runLoadGen(loadGenOpts{
+			target: *targetFlag, n: *nFlag, conc: *concFlag, rate: *rateFlag,
+			apps: apps, dryRun: *dryRunFlag, deadlineMs: *deadlineFlag,
+		}))
+	}
 
 	if *listFlag {
 		for _, d := range experiments.All() {

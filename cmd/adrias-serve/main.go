@@ -1,0 +1,170 @@
+// Command adrias-serve exposes the Adrias orchestrator as a long-lived
+// placement service: an HTTP/JSON API over the batching admission pipeline
+// of internal/serve, backed by a trained predictor and a live simulated
+// testbed that keeps advancing (with ambient load) while the server runs.
+//
+//	POST /v1/place  {"app":"gmm","dry_run":false,"deadline_ms":250}
+//	GET  /healthz
+//	GET  /metrics   (Prometheus text exposition)
+//
+// Usage:
+//
+//	adrias-serve [-listen 127.0.0.1:7700] [-models dir] [-beta 0.8]
+//	             [-batch-window 2ms] [-max-batch 64] [-queue 256]
+//	             [-timeout 2s] [-tick 1s] [-sim-per-tick 1] [-ambient 0.08]
+//	             [-drain 10s] [-seed 1]
+//
+// Without -models the fast offline phase trains a small model set first
+// (≈10 s). SIGINT/SIGTERM stops intake, drains admitted requests, and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"adrias"
+	"adrias/internal/serve"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7700", "HTTP listen address (host:port)")
+	modelsDir := flag.String("models", "", "directory of pre-trained models (empty: train fast models now)")
+	beta := flag.Float64("beta", 0.8, "BE slack parameter β (must be > 0)")
+	qosFactor := flag.Float64("qos-factor", 20, "LC p99 target = BaseP50Ms × factor (0 disables LC offloading)")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "admission coalescing window (negative: no wait)")
+	maxBatch := flag.Int("max-batch", 64, "max requests per coalesced batch")
+	queueDepth := flag.Int("queue", 256, "admission queue depth (full queue → 429)")
+	timeout := flag.Duration("timeout", 2*time.Second, "default per-request deadline")
+	tick := flag.Duration("tick", time.Second, "wall-clock interval between testbed advances")
+	simPerTick := flag.Float64("sim-per-tick", 1, "simulated seconds per advance")
+	ambient := flag.Float64("ambient", 0.08, "ambient arrivals per simulated second")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-drain budget on shutdown")
+	seed := flag.Int64("seed", 1, "testbed and ambient-load seed")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "adrias-serve: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *beta <= 0 {
+		fail("-beta must be > 0 (got %v)", *beta)
+	}
+	if _, _, err := net.SplitHostPort(*listen); err != nil {
+		fail("invalid -listen address %q: %v", *listen, err)
+	}
+	if *maxBatch < 1 {
+		fail("-max-batch must be ≥ 1 (got %d)", *maxBatch)
+	}
+	if *queueDepth < 1 {
+		fail("-queue must be ≥ 1 (got %d)", *queueDepth)
+	}
+	if *tick <= 0 || *simPerTick <= 0 {
+		fail("-tick and -sim-per-tick must be > 0")
+	}
+	if *ambient < 0 {
+		fail("-ambient must be ≥ 0 (got %v)", *ambient)
+	}
+
+	var sys *adrias.System
+	var err error
+	if *modelsDir != "" {
+		sys = adrias.NewSystem(adrias.FastOptions())
+		if err := sys.LoadModels(*modelsDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded models from %s\n", *modelsDir)
+	} else {
+		fmt.Println("no -models dir given; training fast models (≈10 s)...")
+		start := time.Now()
+		sys, err = adrias.Train(adrias.FastOptions())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trained in %.1fs\n", time.Since(start).Seconds())
+	}
+
+	eng := serve.NewSystemEngine(sys.Pred, sys.Watch, sys.Registry, serve.EngineConfig{
+		Beta:        *beta,
+		QoSFactor:   *qosFactor,
+		AmbientRate: *ambient,
+		Seed:        *seed,
+	})
+	svc := serve.NewService(eng, serve.Config{
+		BatchWindow:    *batchWindow,
+		MaxBatch:       *maxBatch,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *timeout,
+	})
+	eng.RegisterMetrics(svc.Metrics())
+
+	httpSrv := &http.Server{Addr: *listen, Handler: serve.NewHandler(svc, eng)}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("placement service on http://%s (POST /v1/place, /healthz, /metrics)\n",
+		ln.Addr())
+
+	// Advance the testbed against the wall clock until shutdown.
+	tickerDone := make(chan struct{})
+	tickerStop := make(chan struct{})
+	go func() {
+		defer close(tickerDone)
+		t := time.NewTicker(*tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				eng.Advance(*simPerTick)
+			case <-tickerStop:
+				return
+			}
+		}
+	}()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("\n%s: draining (budget %s)...\n", sig, *drain)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop intake first so queued requests are decided, then close listeners.
+	if err := svc.Close(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+	}
+	close(tickerStop)
+	<-tickerDone
+
+	m := svc.Metrics()
+	s := eng.Snapshot()
+	fmt.Printf("served %d ok / %d error (%d local, %d remote, %d cold starts); sim time %.0fs, %d completed\n",
+		m.ReqOK.Load(), m.ReqError.Load(), m.PlacedLocal.Load(), m.PlacedRemote.Load(),
+		m.ColdStarts.Load(), s.SimTime, s.Completed)
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -13,7 +13,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"adrias"
@@ -46,6 +49,20 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-decision output")
 	flag.Parse()
 
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "adriasd: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *beta <= 0 {
+		fail("-beta must be > 0 (got %v)", *beta)
+	}
+	if *dur <= 0 {
+		fail("-dur must be > 0 simulated seconds (got %v)", *dur)
+	}
+	if _, _, err := net.SplitHostPort(*listen); err != nil {
+		fail("invalid -listen address %q: %v", *listen, err)
+	}
+
 	var sys *adrias.System
 	var err error
 	if *modelsDir != "" {
@@ -71,7 +88,20 @@ func main() {
 		os.Exit(1)
 	}
 	defer srv.Close()
+	defer b.Close()
 	fmt.Printf("bus serving on %s (topics: watcher.samples, orchestrator.decisions)\n", srv.Addr())
+
+	// SIGINT/SIGTERM: shut the bus down cleanly (clients see closed
+	// connections, not resets) before exiting mid-scenario.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "\nadriasd: %s: closing bus and exiting\n", sig)
+		srv.Close()
+		b.Close()
+		os.Exit(130)
+	}()
 
 	orch := sys.Orchestrator(*beta)
 	// Loose QoS targets derived from the LC profiles' unloaded latency.

@@ -1,0 +1,168 @@
+package bus
+
+import (
+	"errors"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConcurrentPublishersStalledSubscriber: several publishers hammer one
+// topic while one subscriber never drains its channel. Publishers must not
+// block and a healthy subscriber must keep receiving — including after the
+// stalled subscriber's buffer has long been full.
+func TestConcurrentPublishersStalledSubscriber(t *testing.T) {
+	b := New()
+	b.Buffer = 4
+	stalled, cancelStalled := b.Subscribe("t")
+	defer cancelStalled()
+
+	healthy, cancelHealthy := b.Subscribe("t")
+	defer cancelHealthy()
+	var received atomic.Int64
+	go func() {
+		for range healthy {
+			received.Add(1)
+		}
+	}()
+
+	const publishers, perPublisher = 4, 250
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				if _, err := b.Publish("t", p*perPublisher+i); err != nil {
+					t.Errorf("publish: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publishers blocked behind the stalled subscriber")
+	}
+
+	if n := len(stalled); n != b.Buffer {
+		t.Errorf("stalled subscriber holds %d messages, want a full buffer of %d", n, b.Buffer)
+	}
+	if n := received.Load(); n == 0 {
+		t.Error("healthy subscriber received nothing")
+	}
+	// The healthy subscriber still works after the stalled one filled up.
+	before := received.Load()
+	if _, err := b.Publish("t", "sentinel"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for received.Load() == before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if received.Load() == before {
+		t.Error("healthy subscriber stopped receiving after the stalled one filled")
+	}
+}
+
+// rawSubscribe opens a bare TCP connection that subscribes to a topic and
+// then never reads — the pathological consumer the write deadline exists for.
+func rawSubscribe(t *testing.T, addr, topic string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, controlFrame{Op: "sub", Topic: topic}); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+// TestTCPSlowClientDropped: a client that subscribes and then stops reading
+// must be disconnected by the write deadline once the socket fills, while a
+// healthy client on the same topic keeps receiving.
+func TestTCPSlowClientDropped(t *testing.T) {
+	b := New()
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetWriteTimeout(200 * time.Millisecond)
+
+	slow := rawSubscribe(t, srv.Addr(), "big")
+	defer slow.Close()
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	healthyCh, err := cli.Subscribe("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var healthyGot atomic.Int64
+	go func() {
+		for range healthyCh {
+			healthyGot.Add(1)
+		}
+	}()
+
+	// Wait for both subscriptions to register on the bus.
+	deadline := time.Now().Add(2 * time.Second)
+	for b.SubscriberCount("big") < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := b.SubscriberCount("big"); got != 2 {
+		t.Fatalf("subscriptions registered: %d, want 2", got)
+	}
+
+	// Large payloads fill the non-reading client's socket buffers; the write
+	// deadline then fires and the server drops it, which unsubscribes it
+	// from the bus.
+	payload := struct{ Data string }{Data: strings.Repeat("x", 256<<10)}
+	deadline = time.Now().Add(10 * time.Second)
+	for b.SubscriberCount("big") > 1 && time.Now().Before(deadline) {
+		if _, err := b.Publish("big", payload); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := b.SubscriberCount("big"); got != 1 {
+		t.Fatalf("slow client still subscribed after write-deadline window (count %d)", got)
+	}
+
+	// The server closed the slow client's connection: draining it must end
+	// in EOF/reset, not a read timeout.
+	slow.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 4096)
+	var readErr error
+	for readErr == nil {
+		_, readErr = slow.Read(buf)
+	}
+	if errors.Is(readErr, os.ErrDeadlineExceeded) {
+		t.Error("slow client connection still open after drop")
+	}
+
+	// The healthy client keeps receiving after the slow one was dropped.
+	before := healthyGot.Load()
+	deadline = time.Now().Add(2 * time.Second)
+	for healthyGot.Load() == before && time.Now().Before(deadline) {
+		if _, err := b.Publish("big", payload); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if healthyGot.Load() == before {
+		t.Error("healthy client stopped receiving after the slow client was dropped")
+	}
+}

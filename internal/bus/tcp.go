@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // The TCP wire protocol: each frame is a 4-byte big-endian length followed
@@ -51,17 +52,22 @@ func readFrame(r io.Reader, v any) error {
 	return json.Unmarshal(buf, v)
 }
 
+// DefaultWriteTimeout bounds one frame write to a client connection.
+const DefaultWriteTimeout = 10 * time.Second
+
 // Server bridges an in-process Bus onto a TCP listener: every message
 // published on the bus is forwarded to connected clients that subscribed to
-// its topic.
+// its topic. A client that stops reading is disconnected once a frame write
+// exceeds the write timeout — slow consumers are dropped, never waited on.
 type Server struct {
 	bus *Bus
 	ln  net.Listener
 	wg  sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
+	mu           sync.Mutex
+	closed       bool
+	conns        map[net.Conn]struct{}
+	writeTimeout time.Duration
 }
 
 // NewServer starts serving the given bus on addr (e.g. "127.0.0.1:0").
@@ -70,10 +76,25 @@ func NewServer(b *Bus, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bus: listen %s: %w", addr, err)
 	}
-	s := &Server{bus: b, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{bus: b, ln: ln, conns: make(map[net.Conn]struct{}),
+		writeTimeout: DefaultWriteTimeout}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// SetWriteTimeout overrides the per-frame write deadline on server→client
+// forwarding (0 disables it). Safe to call while serving.
+func (s *Server) SetWriteTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeTimeout = d
+}
+
+func (s *Server) getWriteTimeout() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeTimeout
 }
 
 // Addr returns the bound listen address.
@@ -126,6 +147,14 @@ func (s *Server) serveConn(conn net.Conn) {
 	send := func(m Message) error {
 		mu.Lock()
 		defer mu.Unlock()
+		// Bound the whole frame write: a client that stopped reading fills
+		// its socket buffer and must be dropped, not waited on — one stalled
+		// consumer never wedges the forwarding path.
+		if d := s.getWriteTimeout(); d > 0 {
+			if err := conn.SetWriteDeadline(time.Now().Add(d)); err != nil {
+				return err
+			}
+		}
 		if err := writeFrame(w, m); err != nil {
 			return err
 		}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"adrias/internal/cluster"
+	"adrias/internal/mathx"
+	"adrias/internal/memsys"
+	"adrias/internal/models"
+	"adrias/internal/workload"
+)
+
+// PerfQuery is one performance question inside a batched prediction: how
+// would app Name (of the given class) perform if deployed on Tier now?
+type PerfQuery struct {
+	Name  string
+	Class PerfClass
+	Tier  memsys.Tier
+}
+
+// PredictPerfBatch answers many queries against one shared history window.
+// The future system state Ŝ is propagated once through the system-state
+// model and reused by every query, and each class's queries fan out
+// through that performance model's clone-parallel batch inference — the
+// admission-batching fast path: N coalesced placement requests cost one
+// Ŝ forecast plus two batched model calls instead of up to 3·N single
+// inferences. Results and errors are per-query; a failing query (e.g. an
+// app with no signature) does not abort the others.
+func (p *Predictor) PredictPerfBatch(queries []PerfQuery, window []mathx.Vector) (mathx.Vector, []error) {
+	preds := mathx.NewVector(len(queries))
+	errs := make([]error, len(queries))
+	if len(queries) == 0 {
+		return preds, errs
+	}
+	if len(window) == 0 {
+		err := fmt.Errorf("core: empty history window")
+		for i := range errs {
+			errs[i] = err
+		}
+		return preds, errs
+	}
+	fut := p.Sys.Predict(window)
+
+	var beSamples, lcSamples []models.PerfSample
+	var beIdx, lcIdx []int
+	for i, q := range queries {
+		remote := 0.0
+		if q.Tier == memsys.TierRemote {
+			remote = 1
+		}
+		s := models.PerfSample{
+			App:        q.Name,
+			Remote:     remote,
+			Past:       window,
+			FuturePred: fut,
+		}
+		if q.Class == ClassLC {
+			lcSamples = append(lcSamples, s)
+			lcIdx = append(lcIdx, i)
+		} else {
+			beSamples = append(beSamples, s)
+			beIdx = append(beIdx, i)
+		}
+	}
+	scatter := func(m *models.PerfModel, samples []models.PerfSample, idx []int, class PerfClass) {
+		if len(samples) == 0 {
+			return
+		}
+		if m == nil {
+			err := fmt.Errorf("core: no model for class %v", class)
+			for _, i := range idx {
+				errs[i] = err
+			}
+			return
+		}
+		ps, es := m.PredictEach(samples, models.FuturePredicted)
+		for k, i := range idx {
+			preds[i], errs[i] = ps[k], es[k]
+		}
+	}
+	scatter(p.BE, beSamples, beIdx, ClassBE)
+	scatter(p.LC, lcSamples, lcIdx, ClassLC)
+	return preds, errs
+}
+
+// DecideBatch decides the tier of every profile against the same history
+// window, coalescing all model work: one Watcher window, one Ŝ forecast,
+// and one batched inference per performance model, instead of up to three
+// single inferences per profile. Decision semantics are identical to
+// calling Decide per profile, with one caveat: capacity (CanFit) is
+// evaluated against the pool state at decision time for every profile, so
+// a batch whose combined footprint overflows a pool relies on the
+// cluster's deploy-time fallback, exactly as racing single decisions
+// would. Decisions are recorded in order.
+func (o *Orchestrator) DecideBatch(profiles []*workload.Profile, c *cluster.Cluster) []memsys.Tier {
+	n := len(profiles)
+	tiers := make([]memsys.Tier, n)
+	ds := make([]Decision, n)
+	window := o.Watch.Window(c)
+
+	// Assemble the prediction queries for warm apps with enough history:
+	// BE asks local+remote, LC asks remote only.
+	var queries []PerfQuery
+	qStart := make([]int, n) // index of profile i's first query, -1 when none
+	for i, p := range profiles {
+		ds[i] = Decision{App: p.Name, Class: p.Class}
+		qStart[i] = -1
+		if !o.Pred.Sigs.Has(p.Name) {
+			ds[i].ColdStart = true
+			continue
+		}
+		if window == nil {
+			continue
+		}
+		qStart[i] = len(queries)
+		if p.Class == workload.LatencyCritical {
+			queries = append(queries, PerfQuery{Name: p.Name, Class: ClassLC, Tier: memsys.TierRemote})
+		} else {
+			queries = append(queries,
+				PerfQuery{Name: p.Name, Class: ClassBE, Tier: memsys.TierLocal},
+				PerfQuery{Name: p.Name, Class: ClassBE, Tier: memsys.TierRemote})
+		}
+	}
+	var preds mathx.Vector
+	var errs []error
+	if len(queries) > 0 {
+		preds, errs = o.Pred.PredictPerfBatch(queries, window)
+	}
+
+	for i, p := range profiles {
+		d := &ds[i]
+		switch {
+		case d.ColdStart:
+			// Cold start: unknown signature → deploy remote, capture metrics.
+			d.Tier = memsys.TierRemote
+			if !c.CanFit(p, memsys.TierRemote) {
+				d.Tier = memsys.TierLocal
+				d.Fallback = true
+			}
+		case qStart[i] < 0:
+			// Not enough monitoring history yet: default to the safe tier.
+			d.Tier = memsys.TierLocal
+			d.Fallback = true
+		case p.Class == workload.LatencyCritical:
+			q := qStart[i]
+			if errs[q] != nil {
+				d.Tier = memsys.TierLocal
+				d.Fallback = true
+			} else {
+				d.PredRem = preds[q]
+				qos, ok := o.QoSMs[p.Name]
+				d.Tier = DecideLC(qos, ok, preds[q])
+			}
+		default: // best-effort
+			q := qStart[i]
+			if errs[q] != nil || errs[q+1] != nil {
+				d.Tier = memsys.TierLocal
+				d.Fallback = true
+			} else {
+				d.PredLocal, d.PredRem = preds[q], preds[q+1]
+				d.Tier = DecideBE(o.Beta, preds[q], preds[q+1])
+			}
+		}
+		// A remote verdict against a full pool degrades to local (the
+		// cluster would redirect anyway; deciding here keeps the
+		// bookkeeping honest). Cold starts already ran their own check.
+		if !d.ColdStart && d.Tier == memsys.TierRemote && !c.CanFit(p, memsys.TierRemote) {
+			d.Tier = memsys.TierLocal
+			d.Fallback = true
+		}
+		tiers[i] = d.Tier
+	}
+	o.Decisions = append(o.Decisions, ds...)
+	return tiers
+}

@@ -55,66 +55,12 @@ func NewOrchestrator(pred *Predictor, watch *Watcher, beta float64) *Orchestrato
 // Name implements Scheduler.
 func (o *Orchestrator) Name() string { return fmt.Sprintf("adrias(β=%g)", o.Beta) }
 
-// Decide implements Scheduler.
+// Decide implements Scheduler. It is the single-application case of
+// DecideBatch: cold start → remote + capture, no history → safe local,
+// otherwise the β-slack rule (BE) or QoS gate (LC) over the predictor,
+// degraded to local when the remote pool cannot fit the footprint.
 func (o *Orchestrator) Decide(p *workload.Profile, c *cluster.Cluster) memsys.Tier {
-	d := Decision{App: p.Name, Class: p.Class}
-
-	// Cold start: unknown signature → deploy remote, capture metrics.
-	if !o.Pred.Sigs.Has(p.Name) {
-		d.Tier = memsys.TierRemote
-		if !c.CanFit(p, memsys.TierRemote) {
-			d.Tier = memsys.TierLocal
-			d.Fallback = true
-		}
-		d.ColdStart = true
-		o.Decisions = append(o.Decisions, d)
-		return d.Tier
-	}
-
-	window := o.Watch.Window(c)
-	if window == nil {
-		// Not enough monitoring history yet: default to the safe tier.
-		d.Tier = memsys.TierLocal
-		d.Fallback = true
-		o.Decisions = append(o.Decisions, d)
-		return d.Tier
-	}
-
-	class := ClassBE
-	if p.Class == workload.LatencyCritical {
-		class = ClassLC
-	}
-
-	switch class {
-	case ClassBE:
-		local, errL := o.Pred.PredictPerf(p.Name, class, window, memsys.TierLocal)
-		remote, errR := o.Pred.PredictPerf(p.Name, class, window, memsys.TierRemote)
-		if errL != nil || errR != nil {
-			d.Tier = memsys.TierLocal
-			d.Fallback = true
-			break
-		}
-		d.PredLocal, d.PredRem = local, remote
-		d.Tier = DecideBE(o.Beta, local, remote)
-	case ClassLC:
-		remote, err := o.Pred.PredictPerf(p.Name, class, window, memsys.TierRemote)
-		if err != nil {
-			d.Tier = memsys.TierLocal
-			d.Fallback = true
-			break
-		}
-		d.PredRem = remote
-		qos, ok := o.QoSMs[p.Name]
-		d.Tier = DecideLC(qos, ok, remote)
-	}
-	// A remote verdict against a full pool degrades to local (the cluster
-	// would redirect anyway; deciding here keeps the bookkeeping honest).
-	if d.Tier == memsys.TierRemote && !c.CanFit(p, memsys.TierRemote) {
-		d.Tier = memsys.TierLocal
-		d.Fallback = true
-	}
-	o.Decisions = append(o.Decisions, d)
-	return d.Tier
+	return o.DecideBatch([]*workload.Profile{p}, c)[0]
 }
 
 // DecideBE applies the paper's best-effort rule: local iff

@@ -407,27 +407,29 @@ func (m *PerfModel) Evaluate(samples []PerfSample, testIdx []int) (PerfEval, err
 	return m.EvaluateWith(samples, testIdx, m.Cfg.EvalFuture)
 }
 
-// predictBatch runs PredictWith for every index, fanning the loop out
-// across model clones, one per available CPU. Predictions are per-sample
-// deterministic, so the result (and the first error, scanned in index
-// order) is identical to the sequential loop.
-func (m *PerfModel) predictBatch(samples []PerfSample, idx []int, kind FutureKind) (mathx.Vector, error) {
+// PredictEach predicts every sample, fanning the loop out across model
+// clones, one per available CPU. Predictions are per-sample deterministic,
+// so results are identical to a sequential PredictWith loop. Unlike
+// PredictBatch, a failing sample does not abort the rest: errs[i] is set
+// and the remaining samples still resolve — the contract admission
+// batching needs, where one unknown application must not fail the batch.
+func (m *PerfModel) PredictEach(samples []PerfSample, kind FutureKind) (mathx.Vector, []error) {
+	preds := mathx.NewVector(len(samples))
+	errs := make([]error, len(samples))
 	if !m.trained {
-		return nil, fmt.Errorf("models: PerfModel.Predict before Fit/Load")
-	}
-	preds := mathx.NewVector(len(idx))
-	W := inferWorkers(len(idx))
-	if W <= 1 {
-		for k, i := range idx {
-			p, err := m.PredictWith(&samples[i], kind)
-			if err != nil {
-				return nil, err
-			}
-			preds[k] = p
+		err := fmt.Errorf("models: PerfModel.Predict before Fit/Load")
+		for i := range errs {
+			errs[i] = err
 		}
-		return preds, nil
+		return preds, errs
 	}
-	errs := make([]error, len(idx))
+	W := inferWorkers(len(samples))
+	if W <= 1 {
+		for i := range samples {
+			preds[i], errs[i] = m.PredictWith(&samples[i], kind)
+		}
+		return preds, errs
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < W; w++ {
 		rep := m
@@ -437,23 +439,50 @@ func (m *PerfModel) predictBatch(samples []PerfSample, idx []int, kind FutureKin
 		wg.Add(1)
 		go func(w int, rep *PerfModel) {
 			defer wg.Done()
-			for k := w; k < len(idx); k += W {
-				p, err := rep.PredictWith(&samples[idx[k]], kind)
-				if err != nil {
-					errs[k] = err
-					return
-				}
-				preds[k] = p
+			for i := w; i < len(samples); i += W {
+				preds[i], errs[i] = rep.PredictWith(&samples[i], kind)
 			}
 		}(w, rep)
 	}
 	wg.Wait()
+	return preds, errs
+}
+
+// predictBatch runs PredictWith for every index, fanning the loop out
+// across model clones. The first error, scanned in index order, aborts
+// the batch — the evaluation-harness contract.
+func (m *PerfModel) predictBatch(samples []PerfSample, idx []int, kind FutureKind) (mathx.Vector, error) {
+	if !m.trained {
+		return nil, fmt.Errorf("models: PerfModel.Predict before Fit/Load")
+	}
+	sub := make([]PerfSample, len(idx))
+	for k, i := range idx {
+		sub[k] = samples[i]
+	}
+	preds, errs := m.PredictEach(sub, kind)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
 	return preds, nil
+}
+
+// PredictBatch predicts every sample using the configured evaluation Ŝ
+// source, fanning the loop out across model clones (one per available CPU).
+// Results are identical to sequential Predict calls. Serving callers use it
+// to amortize admission batches over the clone fan-out.
+func (m *PerfModel) PredictBatch(samples []PerfSample) (mathx.Vector, error) {
+	return m.PredictBatchWith(samples, m.Cfg.EvalFuture)
+}
+
+// PredictBatchWith is PredictBatch with an explicit Ŝ source.
+func (m *PerfModel) PredictBatchWith(samples []PerfSample, kind FutureKind) (mathx.Vector, error) {
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	return m.predictBatch(samples, idx, kind)
 }
 
 // EvaluateWith evaluates using an explicit Ŝ source.

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"adrias/internal/cluster"
+	"adrias/internal/core"
+	"adrias/internal/memsys"
+	"adrias/internal/randutil"
+	"adrias/internal/workload"
+)
+
+// EngineConfig tunes the SystemEngine. The zero value selects the defaults.
+type EngineConfig struct {
+	// Beta is the orchestrator's BE slack (default 0.8).
+	Beta float64
+	// QoSFactor sets each LC application's p99 target to BaseP50Ms × factor
+	// (0 disables LC offloading, the orchestrator's safe default).
+	QoSFactor float64
+	// WarmupTicks runs the testbed this many simulated seconds before
+	// serving, so the Watcher window is full from the first request
+	// (default: the window length + 10).
+	WarmupTicks int
+	// AmbientRate deploys background load at this many arrivals per
+	// simulated second while the feed ticks (default 0.08), so served
+	// placements see a busy node, as in the paper's scenarios.
+	AmbientRate float64
+	// IBenchShare is the fraction of ambient arrivals drawn from the
+	// iBench interference generators (default 0.5).
+	IBenchShare float64
+	// Seed drives the testbed and the ambient arrival stream (default 1).
+	Seed int64
+	// NegSigTTL bounds staleness of cached signature misses.
+	NegSigTTL time.Duration
+	// Cluster overrides the testbed configuration (nil: paper defaults).
+	Cluster *cluster.Config
+}
+
+func (c EngineConfig) withDefaults(histTicks int) EngineConfig {
+	if c.Beta <= 0 {
+		c.Beta = 0.8
+	}
+	if c.WarmupTicks <= 0 {
+		c.WarmupTicks = histTicks + 10
+	}
+	if c.AmbientRate == 0 {
+		c.AmbientRate = 0.08
+	}
+	if c.IBenchShare == 0 {
+		c.IBenchShare = 0.5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// SystemEngine serves placements from a trained Adrias predictor against a
+// live simulated testbed. The testbed advances in simulated time through
+// Advance (driven by a wall-clock ticker in cmd/adrias-serve); placement
+// requests are decided — and, unless DryRun, deployed — against its current
+// monitoring window. One mutex serializes batches and ticks: the Engine is
+// called with whole coalesced batches, so the lock is taken once per batch,
+// not once per request.
+type SystemEngine struct {
+	mu    sync.Mutex
+	orch  *core.Orchestrator
+	watch *core.Watcher
+	reg   *workload.Registry
+	cl    *cluster.Cluster
+	sigs  *SignatureCache
+	rng   *randutil.Source
+	cfg   EngineConfig
+
+	ambientStarted uint64
+}
+
+// NewSystemEngine builds the engine and warms the testbed up so the
+// monitoring window is full before the first request.
+func NewSystemEngine(pred *core.Predictor, watch *core.Watcher, reg *workload.Registry, cfg EngineConfig) *SystemEngine {
+	cfg = cfg.withDefaults(watch.HistTicks)
+	ccfg := cluster.DefaultConfig()
+	if cfg.Cluster != nil {
+		ccfg = *cfg.Cluster
+	}
+	ccfg.KeepHistory = true
+	ccfg.Seed = cfg.Seed
+
+	e := &SystemEngine{
+		orch:  core.NewOrchestrator(pred, watch, cfg.Beta),
+		watch: watch,
+		reg:   reg,
+		cl:    cluster.New(ccfg),
+		sigs:  NewSignatureCache(pred.Sigs, cfg.NegSigTTL),
+		rng:   randutil.New(cfg.Seed).Split(0x5e7),
+		cfg:   cfg,
+	}
+	if cfg.QoSFactor > 0 {
+		for _, p := range reg.LC() {
+			e.orch.QoSMs[p.Name] = p.BaseP50Ms * cfg.QoSFactor
+		}
+	}
+	// In-situ signature capture for cold-started apps, write-through the
+	// cache so HTTP-layer readers see it immediately.
+	e.cl.OnComplete = func(in *workload.Instance) {
+		if in.Tier != memsys.TierRemote || in.Profile.Class == workload.Interference {
+			return
+		}
+		if e.sigs.Has(in.Profile.Name) {
+			return
+		}
+		trace := e.watch.TraceBetween(e.cl, in.StartAt, in.DoneAt)
+		if len(trace) == 0 {
+			return
+		}
+		_ = e.sigs.Put(in.Profile.Name, trace)
+	}
+	// Warm up: some seed load plus enough ticks to fill the window.
+	spark := reg.Spark()
+	e.cl.Deploy(spark[e.rng.Intn(len(spark))], memsys.TierLocal)
+	e.cl.Run(float64(cfg.WarmupTicks))
+	return e
+}
+
+// PlaceBatch implements Engine: one lock acquisition, one DecideBatch (one
+// Ŝ forecast + one batched inference per performance model) for the whole
+// coalesced batch. Unknown applications fail individually with
+// ErrUnknownApp; the rest of the batch is unaffected.
+func (e *SystemEngine) PlaceBatch(reqs []PlaceRequest) []PlaceResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	results := make([]PlaceResult, len(reqs))
+	profiles := make([]*workload.Profile, 0, len(reqs))
+	idx := make([]int, 0, len(reqs))
+	for i, r := range reqs {
+		results[i].App = r.App
+		p := e.reg.ByName(r.App)
+		if p == nil {
+			results[i].Err = fmt.Errorf("%w: %q", ErrUnknownApp, r.App)
+			continue
+		}
+		results[i].Class = p.Class
+		profiles = append(profiles, p)
+		idx = append(idx, i)
+	}
+	if len(profiles) == 0 {
+		return results
+	}
+	tiers := e.orch.DecideBatch(profiles, e.cl)
+	base := len(e.orch.Decisions) - len(profiles)
+	for k, i := range idx {
+		d := e.orch.Decisions[base+k]
+		results[i].Tier = tiers[k]
+		results[i].PredLocalS = d.PredLocal
+		results[i].PredRemS = d.PredRem
+		results[i].ColdStart = d.ColdStart
+		results[i].Fallback = d.Fallback
+		if !reqs[i].DryRun {
+			e.cl.Deploy(profiles[k], tiers[k])
+		}
+	}
+	return results
+}
+
+// Advance moves the testbed simSec simulated seconds forward, injecting
+// ambient arrivals (coin-flip placed, the paper's load-generation
+// semantics) along the way. The caller paces it against the wall clock.
+func (e *SystemEngine) Advance(simSec float64) {
+	if simSec <= 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.cl.Now()
+	for s := 1; s <= int(simSec); s++ {
+		if !e.rng.Bernoulli(e.cfg.AmbientRate) {
+			continue
+		}
+		p := e.pickAmbient()
+		tier := memsys.TierLocal
+		if e.rng.Bernoulli(0.5) {
+			tier = memsys.TierRemote
+		}
+		e.cl.DeployAt(now+float64(s-1)+e.rng.Float64(), p, func() memsys.Tier { return tier }, nil)
+		e.ambientStarted++
+	}
+	e.cl.Run(now + simSec)
+}
+
+func (e *SystemEngine) pickAmbient() *workload.Profile {
+	if e.rng.Bernoulli(e.cfg.IBenchShare) {
+		ib := e.reg.IBench()
+		return ib[e.rng.Intn(len(ib))]
+	}
+	apps := append(append([]*workload.Profile(nil), e.reg.Spark()...), e.reg.LC()...)
+	return apps[e.rng.Intn(len(apps))]
+}
+
+// Signatures exposes the engine's signature read cache (safe concurrent
+// reads for the HTTP layer).
+func (e *SystemEngine) Signatures() *SignatureCache { return e.sigs }
+
+// EngineStats is a point-in-time snapshot for health read-outs.
+type EngineStats struct {
+	SimTime        float64
+	Running        int
+	Completed      int
+	Decisions      int
+	AmbientStarted uint64
+	LocalFreeGB    float64
+	RemoteFreeGB   float64
+	Ready          bool
+}
+
+// Snapshot returns current testbed and orchestrator state.
+func (e *SystemEngine) Snapshot() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EngineStats{
+		SimTime:        e.cl.Now(),
+		Running:        len(e.cl.Running()),
+		Completed:      len(e.cl.Completed()),
+		Decisions:      len(e.orch.Decisions),
+		AmbientStarted: e.ambientStarted,
+		LocalFreeGB:    e.cl.CapacityLeftGB(memsys.TierLocal),
+		RemoteFreeGB:   e.cl.CapacityLeftGB(memsys.TierRemote),
+		Ready:          e.watch.Ready(e.cl),
+	}
+}
+
+// RegisterMetrics publishes engine gauges on the service metric set.
+func (e *SystemEngine) RegisterMetrics(m *Metrics) {
+	m.AddGauge("adrias_serve_sim_time_seconds", "Simulated testbed time.", func() float64 {
+		return e.Snapshot().SimTime
+	})
+	m.AddGauge("adrias_serve_running_instances", "Instances running on the testbed.", func() float64 {
+		return float64(e.Snapshot().Running)
+	})
+	m.AddGauge("adrias_serve_signatures", "Signatures in the store.", func() float64 {
+		return float64(e.sigs.Len())
+	})
+	m.AddGauge("adrias_serve_sigcache_hits_total", "Signature-cache hits.", func() float64 {
+		h, _ := e.sigs.Stats()
+		return float64(h)
+	})
+	m.AddGauge("adrias_serve_sigcache_misses_total", "Signature-cache misses.", func() float64 {
+		_, ms := e.sigs.Stats()
+		return float64(ms)
+	})
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// PlaceHTTPRequest is the JSON body of POST /v1/place.
+type PlaceHTTPRequest struct {
+	App string `json:"app"`
+	// DryRun decides without deploying onto the testbed.
+	DryRun bool `json:"dry_run,omitempty"`
+	// DeadlineMs bounds this request's end-to-end time in the admission
+	// pipeline; 0 uses the service default.
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+}
+
+// PlaceHTTPResponse is the JSON body of a successful placement.
+type PlaceHTTPResponse struct {
+	App         string  `json:"app"`
+	Class       string  `json:"class"`
+	Tier        string  `json:"tier"`
+	PredLocalS  float64 `json:"pred_local_s,omitempty"`
+	PredRemoteS float64 `json:"pred_remote_s,omitempty"`
+	ColdStart   bool    `json:"cold_start,omitempty"`
+	Fallback    bool    `json:"fallback,omitempty"`
+	BatchSize   int     `json:"batch_size,omitempty"`
+}
+
+// HealthResponse is the JSON body of GET /healthz.
+type HealthResponse struct {
+	Status         string  `json:"status"`
+	Ready          bool    `json:"ready"`
+	SimTime        float64 `json:"sim_time_s"`
+	Running        int     `json:"running"`
+	Completed      int     `json:"completed"`
+	Decisions      int     `json:"decisions"`
+	Signatures     int     `json:"signatures"`
+	AmbientStarted uint64  `json:"ambient_started"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthSource supplies /healthz state; *SystemEngine implements it via
+// Snapshot, and tests can stub it.
+type HealthSource interface {
+	Snapshot() EngineStats
+	Signatures() *SignatureCache
+}
+
+// NewHandler wires the placement service into an HTTP API:
+//
+//	POST /v1/place  — decide (and deploy) one application
+//	GET  /healthz   — liveness/readiness plus testbed state
+//	GET  /metrics   — Prometheus text exposition
+//
+// Error mapping: unknown app → 400, queue full → 429 (with Retry-After),
+// deadline exceeded → 504, draining → 503.
+func NewHandler(svc *Service, health HealthSource) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/place", func(w http.ResponseWriter, r *http.Request) {
+		var req PlaceHTTPRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+			return
+		}
+		if req.App == "" {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"app\""})
+			return
+		}
+		ctx := r.Context()
+		if req.DeadlineMs > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs*float64(time.Millisecond)))
+			defer cancel()
+		}
+		res, err := svc.Place(ctx, PlaceRequest{App: req.App, DryRun: req.DryRun})
+		if err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, ErrUnknownApp):
+				status = http.StatusBadRequest
+			case errors.Is(err, ErrOverloaded):
+				status = http.StatusTooManyRequests
+				w.Header().Set("Retry-After", "1")
+			case errors.Is(err, ErrClosed):
+				status = http.StatusServiceUnavailable
+			case errors.Is(err, context.DeadlineExceeded):
+				status = http.StatusGatewayTimeout
+			case errors.Is(err, context.Canceled):
+				status = 499 // client closed request
+			}
+			writeJSON(w, status, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, PlaceHTTPResponse{
+			App:         res.App,
+			Class:       res.Class.String(),
+			Tier:        res.Tier.String(),
+			PredLocalS:  res.PredLocalS,
+			PredRemoteS: res.PredRemS,
+			ColdStart:   res.ColdStart,
+			Fallback:    res.Fallback,
+			BatchSize:   res.BatchSize,
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		resp := HealthResponse{Status: "ok"}
+		if health != nil {
+			s := health.Snapshot()
+			resp.Ready = s.Ready
+			resp.SimTime = s.SimTime
+			resp.Running = s.Running
+			resp.Completed = s.Completed
+			resp.Decisions = s.Decisions
+			resp.AmbientStarted = s.AmbientStarted
+			resp.Signatures = health.Signatures().Len()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		svc.Metrics().WritePrometheus(w)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do.
+		_ = fmt.Errorf("serve: encoding response: %w", err)
+	}
+}

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the service's metric set, exposed in Prometheus text format on
+// /metrics. Everything is atomic; no external client library is used (the
+// container has none), the exposition format is hand-rendered.
+type Metrics struct {
+	ReqOK       atomic.Uint64
+	ReqOverload atomic.Uint64
+	ReqDeadline atomic.Uint64
+	ReqError    atomic.Uint64
+	ReqClosed   atomic.Uint64
+
+	Batches     atomic.Uint64 // engine calls
+	BatchedReqs atomic.Uint64 // requests served through those calls
+	Expired     atomic.Uint64 // requests discarded in-queue (deadline passed)
+
+	PlacedLocal  atomic.Uint64
+	PlacedRemote atomic.Uint64
+	ColdStarts   atomic.Uint64
+	Fallbacks    atomic.Uint64
+
+	Latency Histogram
+
+	// queueDepth reports the live admission-queue length at scrape time.
+	queueDepth func() int
+	// extraGauges lets the engine publish gauges (sim time, running
+	// instances, signature count) through the same endpoint.
+	extraGauges []gauge
+}
+
+type gauge struct {
+	name, help string
+	read       func() float64
+}
+
+// NewMetrics returns an empty metric set with default latency buckets.
+func NewMetrics() *Metrics {
+	return &Metrics{Latency: NewHistogram(DefaultLatencyBuckets())}
+}
+
+// AddGauge registers a scrape-time gauge. Not safe to call concurrently
+// with WritePrometheus; register everything before serving.
+func (m *Metrics) AddGauge(name, help string, read func() float64) {
+	m.extraGauges = append(m.extraGauges, gauge{name: name, help: help, read: read})
+}
+
+// DefaultLatencyBuckets spans 100 µs … 10 s, roughly logarithmic.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{1e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// Histogram is a fixed-bucket cumulative histogram of durations in seconds.
+type Histogram struct {
+	bounds []float64       // upper bounds, ascending
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sumNs  atomic.Int64
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Quantile returns an upper-bound estimate of the q-quantile (0..1) from
+// the bucket counts — good enough for operator read-outs.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen > rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (h *Histogram) write(w io.Writer, name string) {
+	fmt.Fprintf(w, "# HELP %s Request latency through the admission pipeline.\n", name)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, trimFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }
+
+// WritePrometheus renders the metric set in Prometheus text exposition
+// format (version 0.0.4).
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counterVec(w, "adrias_serve_requests_total",
+		"Placement requests by outcome.",
+		[]string{"ok", "overload", "deadline", "error", "closed"},
+		[]uint64{m.ReqOK.Load(), m.ReqOverload.Load(), m.ReqDeadline.Load(), m.ReqError.Load(), m.ReqClosed.Load()},
+		"outcome")
+	counter(w, "adrias_serve_batches_total", "Engine batch calls.", m.Batches.Load())
+	counter(w, "adrias_serve_batched_requests_total", "Requests served through batch calls.", m.BatchedReqs.Load())
+	counter(w, "adrias_serve_expired_in_queue_total", "Requests discarded in-queue after their deadline.", m.Expired.Load())
+	counterVec(w, "adrias_serve_placements_total",
+		"Successful placements by memory tier.",
+		[]string{"local", "remote"},
+		[]uint64{m.PlacedLocal.Load(), m.PlacedRemote.Load()},
+		"tier")
+	counter(w, "adrias_serve_cold_starts_total", "Placements of applications with no stored signature.", m.ColdStarts.Load())
+	counter(w, "adrias_serve_fallbacks_total", "Placements decided by the safe default.", m.Fallbacks.Load())
+	if m.queueDepth != nil {
+		fmt.Fprintf(w, "# HELP adrias_serve_queue_depth Admitted requests waiting for a batch.\n")
+		fmt.Fprintf(w, "# TYPE adrias_serve_queue_depth gauge\n")
+		fmt.Fprintf(w, "adrias_serve_queue_depth %d\n", m.queueDepth())
+	}
+	for _, g := range m.extraGauges {
+		fmt.Fprintf(w, "# HELP %s %s\n", g.name, g.help)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", g.name)
+		fmt.Fprintf(w, "%s %g\n", g.name, g.read())
+	}
+	m.Latency.write(w, "adrias_serve_request_duration_seconds")
+}
+
+func counter(w io.Writer, name, help string, v uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s counter\n", name)
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+func counterVec(w io.Writer, name, help string, labels []string, vals []uint64, labelName string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s counter\n", name)
+	for i, l := range labels {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, labelName, l, vals[i])
+	}
+}

@@ -1,0 +1,329 @@
+// Package serve exposes the Adrias orchestrator as a long-lived placement
+// service — the admission front-end of the paper's Fig. 7 deployment, where
+// arriving applications ask the orchestrator for a memory tier before they
+// start. The service accepts concurrent placement requests, coalesces them
+// inside a small batching window, and feeds whole batches through the
+// predictor's clone-parallel batch inference (one Ŝ forecast and one model
+// call per class instead of up to three inferences per request).
+//
+// The admission pipeline is:
+//
+//	Place(ctx) → bounded queue → batcher (coalescing window) → Engine.PlaceBatch
+//
+// with per-request deadlines (context propagation end to end), explicit
+// backpressure when the queue is full (ErrOverloaded, an HTTP 429), and a
+// graceful drain on Close that serves everything already admitted before
+// shutting down. NewHandler wraps the service in an HTTP/JSON API with
+// /healthz and Prometheus-style /metrics.
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adrias/internal/memsys"
+	"adrias/internal/workload"
+)
+
+// Service errors. Handlers map them to HTTP statuses: ErrOverloaded → 429,
+// ErrClosed → 503, ErrUnknownApp → 400; context.DeadlineExceeded → 504.
+var (
+	// ErrOverloaded is returned when the admission queue is full — the
+	// service's explicit backpressure signal.
+	ErrOverloaded = errors.New("serve: admission queue full")
+	// ErrClosed is returned once draining has begun.
+	ErrClosed = errors.New("serve: service draining")
+	// ErrUnknownApp is returned for applications absent from the registry.
+	ErrUnknownApp = errors.New("serve: unknown application")
+)
+
+// PlaceRequest asks for a memory-tier placement of one application.
+type PlaceRequest struct {
+	App string
+	// DryRun decides without deploying the application onto the testbed.
+	DryRun bool
+}
+
+// PlaceResult is one placement decision.
+type PlaceResult struct {
+	App        string
+	Class      workload.Class
+	Tier       memsys.Tier
+	PredLocalS float64 // predicted perf on local (0 when not predicted)
+	PredRemS   float64 // predicted perf on remote
+	ColdStart  bool    // the app had no signature; deployed remote + captured
+	Fallback   bool    // prediction failed or pool full; safe default won
+	BatchSize  int     // number of requests decided in the same batch
+	Err        error   // per-request failure (e.g. unknown application)
+}
+
+// Engine computes placement decisions for a coalesced batch of admitted
+// requests. results[i] answers reqs[i].
+type Engine interface {
+	PlaceBatch(reqs []PlaceRequest) []PlaceResult
+}
+
+// Config tunes the admission pipeline. The zero value selects the defaults.
+type Config struct {
+	// BatchWindow bounds how long the batcher waits, after the first
+	// request arrives, for more requests to coalesce (default 2 ms;
+	// negative disables waiting — only already-queued requests join the
+	// batch). Once a batch has company, an idle queue releases it
+	// immediately rather than sleeping out the whole window.
+	BatchWindow time.Duration
+	// MaxBatch caps the batch size (default 64; 1 degenerates to
+	// one-inference-per-request, the unbatched baseline).
+	MaxBatch int
+	// QueueDepth bounds the admission queue; a full queue rejects with
+	// ErrOverloaded (default 256).
+	QueueDepth int
+	// DefaultTimeout is applied to requests whose context carries no
+	// deadline, so nothing can wait unboundedly (default 2 s).
+	DefaultTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// pending is one admitted request waiting for its batch to be served.
+type pending struct {
+	ctx  context.Context
+	req  PlaceRequest
+	done chan PlaceResult // buffered(1): the batcher never blocks on delivery
+}
+
+// Service is the batching admission front-end over an Engine. Safe for
+// concurrent use.
+type Service struct {
+	cfg Config
+	eng Engine
+	met *Metrics
+
+	queue     chan *pending
+	quit      chan struct{}
+	drained   chan struct{}
+	closeOnce sync.Once
+	closed    atomic.Bool
+}
+
+// NewService starts the admission batcher over eng.
+func NewService(eng Engine, cfg Config) *Service {
+	s := &Service{
+		cfg:     cfg.withDefaults(),
+		eng:     eng,
+		met:     NewMetrics(),
+		queue:   make(chan *pending, cfg.withDefaults().QueueDepth),
+		quit:    make(chan struct{}),
+		drained: make(chan struct{}),
+	}
+	s.met.queueDepth = func() int { return len(s.queue) }
+	go s.run()
+	return s
+}
+
+// Metrics returns the service's metric set (shared, live).
+func (s *Service) Metrics() *Metrics { return s.met }
+
+// Place admits one placement request: it enqueues, waits for the batcher,
+// and returns the decision. It returns ErrOverloaded immediately when the
+// queue is full, ErrClosed once draining has begun, and the context error
+// as soon as the request's deadline expires — even if the request is still
+// queued (the batcher discards expired entries without running them).
+func (s *Service) Place(ctx context.Context, req PlaceRequest) (PlaceResult, error) {
+	start := time.Now()
+	if s.closed.Load() {
+		s.met.ReqClosed.Add(1)
+		return PlaceResult{}, ErrClosed
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		s.met.ReqDeadline.Add(1)
+		return PlaceResult{}, err
+	}
+	p := &pending{ctx: ctx, req: req, done: make(chan PlaceResult, 1)}
+	select {
+	case s.queue <- p:
+	default:
+		s.met.ReqOverload.Add(1)
+		return PlaceResult{}, ErrOverloaded
+	}
+	select {
+	case r := <-p.done:
+		s.met.Latency.Observe(time.Since(start))
+		if r.Err != nil {
+			s.met.ReqError.Add(1)
+			return r, r.Err
+		}
+		s.met.ReqOK.Add(1)
+		if r.Tier == memsys.TierRemote {
+			s.met.PlacedRemote.Add(1)
+		} else {
+			s.met.PlacedLocal.Add(1)
+		}
+		if r.ColdStart {
+			s.met.ColdStarts.Add(1)
+		}
+		if r.Fallback {
+			s.met.Fallbacks.Add(1)
+		}
+		return r, nil
+	case <-ctx.Done():
+		s.met.ReqDeadline.Add(1)
+		s.met.Latency.Observe(time.Since(start))
+		return PlaceResult{}, ctx.Err()
+	}
+}
+
+// Close begins the graceful drain: no new requests are accepted, everything
+// already queued is still decided, and Close returns when the batcher has
+// exited (or ctx expires first, in which case the drain continues in the
+// background).
+func (s *Service) Close(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		close(s.quit)
+	})
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// run is the batcher goroutine: it coalesces queued requests into batches
+// and serves them through the engine.
+func (s *Service) run() {
+	for {
+		select {
+		case p := <-s.queue:
+			s.serveBatch(s.collect(p))
+		case <-s.quit:
+			// Drain: decide everything already admitted, then exit.
+			for {
+				select {
+				case p := <-s.queue:
+					s.serveBatch(s.collect(p))
+				default:
+					close(s.drained)
+					return
+				}
+			}
+		}
+	}
+}
+
+// collect gathers a batch: the first request plus whatever else arrives
+// within the batching window, capped at MaxBatch. A lone request waits up
+// to the full window for company; once the batch has at least two members,
+// an idle queue releases it immediately — when every in-flight client is
+// already aboard, sleeping out the window adds latency without growing the
+// batch. Idleness is confirmed by yielding to runnable producers rather
+// than by a short timer: parking on a sub-millisecond timer costs ~1 ms of
+// netpoll wake-up latency, which would swamp the inference time the batch
+// exists to amortize.
+func (s *Service) collect(first *pending) []*pending {
+	batch := []*pending{first}
+	// drain takes everything already queued and reports whether it got any.
+	drain := func() bool {
+		got := false
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case p := <-s.queue:
+				batch = append(batch, p)
+				got = true
+				continue
+			default:
+			}
+			break
+		}
+		return got
+	}
+	drain()
+	if s.cfg.BatchWindow < 0 || s.cfg.MaxBatch <= 1 || len(batch) >= s.cfg.MaxBatch {
+		return batch
+	}
+	deadline := time.Now().Add(s.cfg.BatchWindow)
+	for len(batch) < s.cfg.MaxBatch && time.Now().Before(deadline) {
+		if len(batch) > 1 {
+			// Company aboard: give runnable producers a few chances to
+			// enqueue, then ship as soon as the queue stays idle.
+			idle := true
+			for spin := 0; spin < 4; spin++ {
+				runtime.Gosched()
+				if drain() {
+					idle = false
+					break
+				}
+			}
+			if idle {
+				return batch
+			}
+			continue
+		}
+		// Lone request: sleep until company arrives or the window closes.
+		// An arrival wakes the select through the channel, not the timer,
+		// so this path does not pay the timer-granularity tax per batch.
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case p := <-s.queue:
+			timer.Stop()
+			batch = append(batch, p)
+		case <-s.quit:
+			// Draining: serve what we have without waiting out the window.
+			timer.Stop()
+			return batch
+		case <-timer.C:
+		}
+	}
+	return batch
+}
+
+// serveBatch discards expired requests, runs the rest through the engine in
+// one call, and delivers the results.
+func (s *Service) serveBatch(batch []*pending) {
+	live := make([]*pending, 0, len(batch))
+	reqs := make([]PlaceRequest, 0, len(batch))
+	for _, p := range batch {
+		if p.ctx.Err() != nil {
+			// The caller has already been released by its context; do not
+			// spend model time on it.
+			s.met.Expired.Add(1)
+			continue
+		}
+		live = append(live, p)
+		reqs = append(reqs, p.req)
+	}
+	if len(live) == 0 {
+		return
+	}
+	s.met.Batches.Add(1)
+	s.met.BatchedReqs.Add(uint64(len(live)))
+	results := s.eng.PlaceBatch(reqs)
+	for i, p := range live {
+		r := results[i]
+		r.BatchSize = len(live)
+		p.done <- r
+	}
+}

@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adrias/internal/memsys"
+)
+
+// fakeEngine is a deterministic Engine for admission-pipeline tests: it
+// counts batch calls, records batch sizes, and can be gated shut so tests
+// control exactly when a batch completes.
+type fakeEngine struct {
+	mu          sync.Mutex
+	calls       int
+	batchSizes  []int
+	entered     atomic.Int32  // batches that reached the engine (pre-gate)
+	enteredReqs atomic.Int32  // requests inside those batches (pre-gate)
+	gate        chan struct{} // when non-nil, PlaceBatch blocks until closed
+}
+
+func (f *fakeEngine) PlaceBatch(reqs []PlaceRequest) []PlaceResult {
+	f.entered.Add(1)
+	f.enteredReqs.Add(int32(len(reqs)))
+	if f.gate != nil {
+		<-f.gate
+	}
+	f.mu.Lock()
+	f.calls++
+	f.batchSizes = append(f.batchSizes, len(reqs))
+	f.mu.Unlock()
+	out := make([]PlaceResult, len(reqs))
+	for i, r := range reqs {
+		out[i] = PlaceResult{App: r.App, Tier: memsys.TierRemote}
+		if r.App == "unknown" {
+			out[i].Err = fmt.Errorf("%w: %q", ErrUnknownApp, r.App)
+		}
+	}
+	return out
+}
+
+func (f *fakeEngine) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func closeAll(t *testing.T, s *Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestBatchCoalescing: N concurrent requests must reach the engine in far
+// fewer than N PlaceBatch calls — the point of the batching window.
+func TestBatchCoalescing(t *testing.T) {
+	eng := &fakeEngine{}
+	svc := NewService(eng, Config{BatchWindow: 25 * time.Millisecond, MaxBatch: 64, QueueDepth: 256})
+	defer closeAll(t, svc)
+
+	const N = 32
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var batchSizes []int
+	start := make(chan struct{})
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			r, err := svc.Place(context.Background(), PlaceRequest{App: fmt.Sprintf("app-%d", i)})
+			if err != nil {
+				t.Errorf("place %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			batchSizes = append(batchSizes, r.BatchSize)
+			mu.Unlock()
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if c := eng.callCount(); c >= N/2 {
+		t.Errorf("engine calls = %d for %d concurrent requests; coalescing not happening", c, N)
+	}
+	saw := false
+	for _, b := range batchSizes {
+		if b > 1 {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Error("no request reported BatchSize > 1")
+	}
+	if got := svc.Metrics().BatchedReqs.Load(); got != N {
+		t.Errorf("batched_requests_total = %d, want %d", got, N)
+	}
+}
+
+// TestDeadlineExpiredBeforeAdmission: an already-expired context must fail
+// fast without touching the queue or the engine.
+func TestDeadlineExpiredBeforeAdmission(t *testing.T) {
+	eng := &fakeEngine{}
+	svc := NewService(eng, Config{})
+	defer closeAll(t, svc)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.Place(ctx, PlaceRequest{App: "gmm"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c := eng.callCount(); c != 0 {
+		t.Errorf("engine called %d times for a dead request", c)
+	}
+}
+
+// TestDeadlineWhileQueued: a request whose deadline passes while it waits
+// in the queue is released with the context error before the engine ever
+// runs it, and the batcher discards it rather than spending model time.
+func TestDeadlineWhileQueued(t *testing.T) {
+	eng := &fakeEngine{gate: make(chan struct{})}
+	svc := NewService(eng, Config{BatchWindow: time.Millisecond, MaxBatch: 1, QueueDepth: 16})
+
+	// First request occupies the engine (gate closed).
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		if _, err := svc.Place(context.Background(), PlaceRequest{App: "a"}); err != nil {
+			t.Errorf("first place: %v", err)
+		}
+	}()
+	waitFor(t, func() bool { return eng.entered.Load() == 1 })
+
+	// Second request has a short deadline and must be released by it while
+	// still queued — well before the engine unblocks.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	begin := time.Now()
+	_, err := svc.Place(ctx, PlaceRequest{App: "b"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if since := time.Since(begin); since > 2*time.Second {
+		t.Errorf("deadline release took %v", since)
+	}
+
+	close(eng.gate)
+	<-firstDone
+	closeAll(t, svc)
+	if got := svc.Metrics().Expired.Load(); got != 1 {
+		t.Errorf("expired_in_queue = %d, want 1", got)
+	}
+	// Only the first request may have reached the engine.
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	for _, b := range eng.batchSizes {
+		if b != 1 {
+			t.Errorf("expired request reached the engine (batch sizes %v)", eng.batchSizes)
+		}
+	}
+}
+
+// TestBackpressure: with the batcher wedged and the queue full, the next
+// request is rejected immediately with ErrOverloaded.
+func TestBackpressure(t *testing.T) {
+	const depth = 4
+	eng := &fakeEngine{gate: make(chan struct{})}
+	svc := NewService(eng, Config{BatchWindow: time.Millisecond, MaxBatch: 1, QueueDepth: depth,
+		DefaultTimeout: 30 * time.Second})
+
+	// One request inside the engine + depth requests filling the queue.
+	var wg sync.WaitGroup
+	for i := 0; i < depth+1; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := svc.Place(context.Background(), PlaceRequest{App: fmt.Sprintf("app-%d", i)}); err != nil {
+				t.Errorf("place %d: %v", i, err)
+			}
+		}(i)
+	}
+	waitFor(t, func() bool { return len(svc.queue) == depth })
+
+	begin := time.Now()
+	_, err := svc.Place(context.Background(), PlaceRequest{App: "overflow"})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if since := time.Since(begin); since > time.Second {
+		t.Errorf("overload rejection took %v; backpressure must not block", since)
+	}
+	if got := svc.Metrics().ReqOverload.Load(); got != 1 {
+		t.Errorf("overload count = %d, want 1", got)
+	}
+
+	close(eng.gate)
+	wg.Wait()
+	closeAll(t, svc)
+}
+
+// TestGracefulDrain: Close stops intake immediately but every request
+// already admitted still gets a decision.
+func TestGracefulDrain(t *testing.T) {
+	eng := &fakeEngine{gate: make(chan struct{})}
+	svc := NewService(eng, Config{BatchWindow: time.Millisecond, MaxBatch: 4, QueueDepth: 64,
+		DefaultTimeout: 30 * time.Second})
+
+	const N = 10
+	var wg sync.WaitGroup
+	var ok, failed sync.Map
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := svc.Place(context.Background(), PlaceRequest{App: fmt.Sprintf("app-%d", i)}); err != nil {
+				failed.Store(i, err)
+			} else {
+				ok.Store(i, true)
+			}
+		}(i)
+	}
+	// Wait until everything not inside the wedged first batch is queued.
+	waitFor(t, func() bool {
+		return eng.entered.Load() >= 1 && len(svc.queue)+int(eng.enteredReqs.Load()) == N
+	})
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(eng.gate) // let the engine move again mid-drain
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+
+	count := 0
+	ok.Range(func(_, _ any) bool { count++; return true })
+	failed.Range(func(k, v any) bool {
+		t.Errorf("admitted request %v failed during drain: %v", k, v)
+		return true
+	})
+	if count != N {
+		t.Errorf("served %d of %d admitted requests during drain", count, N)
+	}
+
+	// After drain: immediate ErrClosed.
+	if _, err := svc.Place(context.Background(), PlaceRequest{App: "late"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-drain err = %v, want ErrClosed", err)
+	}
+	// Second Close is idempotent.
+	if err := svc.Close(context.Background()); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestPerRequestError: an unknown application fails its own request only;
+// neighbors in the same batch succeed.
+func TestPerRequestError(t *testing.T) {
+	eng := &fakeEngine{}
+	svc := NewService(eng, Config{BatchWindow: 25 * time.Millisecond, MaxBatch: 8})
+	defer closeAll(t, svc)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	apps := []string{"good-1", "unknown", "good-2", "good-3"}
+	for i, app := range apps {
+		wg.Add(1)
+		go func(i int, app string) {
+			defer wg.Done()
+			_, errs[i] = svc.Place(context.Background(), PlaceRequest{App: app})
+		}(i, app)
+	}
+	wg.Wait()
+	for i, app := range apps {
+		if app == "unknown" {
+			if !errors.Is(errs[i], ErrUnknownApp) {
+				t.Errorf("unknown app err = %v", errs[i])
+			}
+		} else if errs[i] != nil {
+			t.Errorf("%s: %v", app, errs[i])
+		}
+	}
+	if got := svc.Metrics().ReqError.Load(); got != 1 {
+		t.Errorf("error count = %d, want 1", got)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in 5s")
+}

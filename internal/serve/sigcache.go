@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adrias/internal/mathx"
+	"adrias/internal/models"
+)
+
+// SignatureCache is a read-through cache over a models.SignatureStore. The
+// store itself is a plain map with no locking — fine inside the engine's
+// mutex, but the HTTP layer (request validation, health read-outs) must
+// read signature state without taking the engine lock, concurrently with
+// in-situ capture writes. The cache provides that safe read path:
+//
+//   - positive entries are cached forever (signatures are immutable once
+//     captured);
+//   - negative entries expire after NegTTL, so an application captured
+//     in situ after a cold start is noticed without a restart;
+//   - writes go through Put, which updates the store and the cache under
+//     one lock.
+//
+// All store access after construction must go through the cache.
+type SignatureCache struct {
+	mu     sync.RWMutex
+	store  *models.SignatureStore
+	pos    map[string]models.Signature
+	neg    map[string]time.Time // name → expiry of the cached miss
+	negTTL time.Duration
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+
+	now func() time.Time // test seam
+}
+
+// NewSignatureCache wraps store. negTTL bounds how stale a cached miss may
+// be; 0 selects one second.
+func NewSignatureCache(store *models.SignatureStore, negTTL time.Duration) *SignatureCache {
+	if negTTL <= 0 {
+		negTTL = time.Second
+	}
+	return &SignatureCache{
+		store:  store,
+		pos:    make(map[string]models.Signature),
+		neg:    make(map[string]time.Time),
+		negTTL: negTTL,
+		now:    time.Now,
+	}
+}
+
+// Get returns the signature for name, consulting the store only on cache
+// misses.
+func (c *SignatureCache) Get(name string) (models.Signature, bool) {
+	c.mu.RLock()
+	if sig, ok := c.pos[name]; ok {
+		c.mu.RUnlock()
+		c.hits.Add(1)
+		return sig, true
+	}
+	if exp, ok := c.neg[name]; ok && c.now().Before(exp) {
+		c.mu.RUnlock()
+		c.hits.Add(1)
+		return models.Signature{}, false
+	}
+	c.mu.RUnlock()
+
+	c.misses.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sig, ok := c.store.Get(name)
+	if ok {
+		c.pos[name] = sig
+		delete(c.neg, name)
+	} else {
+		c.neg[name] = c.now().Add(c.negTTL)
+	}
+	return sig, ok
+}
+
+// Has reports whether a signature for name exists.
+func (c *SignatureCache) Has(name string) bool {
+	_, ok := c.Get(name)
+	return ok
+}
+
+// Put stores a captured trace write-through: the store is updated and the
+// cached miss (if any) invalidated atomically.
+func (c *SignatureCache) Put(name string, trace []mathx.Vector) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.store.Put(name, trace); err != nil {
+		return err
+	}
+	sig, _ := c.store.Get(name)
+	c.pos[name] = sig
+	delete(c.neg, name)
+	return nil
+}
+
+// Len returns the number of signatures in the underlying store.
+func (c *SignatureCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.store.Names())
+}
+
+// Stats returns cache hit/miss counts.
+func (c *SignatureCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

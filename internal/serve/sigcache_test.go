@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"adrias/internal/mathx"
+	"adrias/internal/models"
+)
+
+func testTrace() []mathx.Vector {
+	return []mathx.Vector{{1, 2, 3, 4, 5, 6, 7}, {2, 3, 4, 5, 6, 7, 8}}
+}
+
+func TestSignatureCacheHitMiss(t *testing.T) {
+	store := models.NewSignatureStore(2)
+	if err := store.Put("gmm", testTrace()); err != nil {
+		t.Fatal(err)
+	}
+	c := NewSignatureCache(store, time.Minute)
+
+	// First read consults the store (miss), second is served by the cache.
+	if !c.Has("gmm") {
+		t.Fatal("gmm missing")
+	}
+	if !c.Has("gmm") {
+		t.Fatal("gmm missing on second read")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+
+	// Unknown app: first read is a miss, the negative result is then cached.
+	if c.Has("nope") {
+		t.Fatal("nope present")
+	}
+	if c.Has("nope") {
+		t.Fatal("nope present on second read")
+	}
+	hits, misses = c.Stats()
+	if hits != 2 || misses != 2 {
+		t.Errorf("hits=%d misses=%d, want 2/2", hits, misses)
+	}
+}
+
+func TestSignatureCacheNegativeTTL(t *testing.T) {
+	store := models.NewSignatureStore(2)
+	c := NewSignatureCache(store, time.Second)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	if c.Has("late") {
+		t.Fatal("late present")
+	}
+	// Write behind the cache's back (another component captured it).
+	if err := store.Put("late", testTrace()); err != nil {
+		t.Fatal(err)
+	}
+	// Within the TTL the cached miss still answers.
+	if c.Has("late") {
+		t.Error("cached miss should still be served inside the TTL")
+	}
+	// After expiry the store is consulted again and the capture is seen.
+	now = now.Add(2 * time.Second)
+	if !c.Has("late") {
+		t.Error("expired negative entry not refreshed from the store")
+	}
+}
+
+func TestSignatureCachePutInvalidates(t *testing.T) {
+	store := models.NewSignatureStore(2)
+	c := NewSignatureCache(store, time.Hour)
+
+	if c.Has("cold") {
+		t.Fatal("cold present")
+	}
+	// Write-through Put must invalidate the cached miss immediately, even
+	// with an hour-long negative TTL.
+	if err := c.Put("cold", testTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("cold") {
+		t.Error("Put did not invalidate the cached miss")
+	}
+	if !store.Has("cold") {
+		t.Error("Put did not reach the store")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestSignatureCacheConcurrent(t *testing.T) {
+	store := models.NewSignatureStore(2)
+	if err := store.Put("a", testTrace()); err != nil {
+		t.Fatal(err)
+	}
+	c := NewSignatureCache(store, time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Has("a")
+				c.Has("b")
+				if i%100 == 0 && w == 0 {
+					_ = c.Put("b", testTrace())
+				}
+				c.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if !c.Has("b") {
+		t.Error("b missing after concurrent Put")
+	}
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the placement service: build adrias-serve and the
+# adrias-bench load generator, start the service (fast-trained models), wait
+# until /healthz answers, drive 100 requests through the load generator,
+# check the metrics endpoint, then SIGTERM and require a clean drain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+port="${PORT:-7741}"
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/adrias-serve" ./cmd/adrias-serve
+go build -o "$tmp/adrias-bench" ./cmd/adrias-bench
+
+"$tmp/adrias-serve" -listen "127.0.0.1:$port" -tick 500ms >"$tmp/serve.log" 2>&1 &
+pid=$!
+
+ready=""
+for _ in $(seq 1 120); do
+  if curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+    ready=1
+    break
+  fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "adrias-serve exited before becoming healthy:" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+  fi
+  sleep 1
+done
+if [ -z "$ready" ]; then
+  echo "adrias-serve did not become healthy in time:" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+fi
+
+# 100 requests, mixed application classes; the generator exits non-zero on
+# any transport error or 5xx.
+"$tmp/adrias-bench" -target "http://127.0.0.1:$port" -n 100 -conc 8
+
+# All 100 must have been served OK, and the admission pipeline must have
+# actually coalesced them into batches.
+metrics="$(curl -fsS "http://127.0.0.1:$port/metrics")"
+echo "$metrics" | grep -q 'adrias_serve_requests_total{outcome="ok"} 100' || {
+  echo "expected 100 ok requests in /metrics:" >&2
+  echo "$metrics" | grep adrias_serve_requests_total >&2
+  exit 1
+}
+echo "$metrics" | grep -q '^adrias_serve_batches_total' || {
+  echo "missing batch counter in /metrics" >&2
+  exit 1
+}
+
+kill -TERM "$pid"
+wait "$pid" # non-zero (under set -e) if the drain was not clean
+grep -q "served 100 ok" "$tmp/serve.log" || {
+  echo "drain report missing from server log:" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+}
+pid=""
+echo "serve smoke OK"
