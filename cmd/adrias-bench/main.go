@@ -6,6 +6,7 @@
 // Usage:
 //
 //	adrias-bench [-scale fast|medium|paper] [-run id[,id...]] [-list]
+//	             [-cpuprofile file] [-memprofile file]
 //	adrias-bench -target http://127.0.0.1:7700 [-n 200] [-conc 8]
 //	             [-rate 0] [-apps gmm,redis,...] [-dry-run] [-deadline-ms 0]
 package main
@@ -18,9 +19,17 @@ import (
 	"time"
 
 	"adrias/internal/experiments"
+	"adrias/internal/profiling"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole command body so deferred profile teardown executes
+// on every exit path — load-generator result, unknown scale/id, and failed
+// experiment checks all return codes instead of calling os.Exit.
+func run() int {
 	scaleFlag := flag.String("scale", "medium", "campaign scale: fast, medium, or paper")
 	runFlag := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	listFlag := flag.Bool("list", false, "list experiment ids and exit")
@@ -31,7 +40,16 @@ func main() {
 	appsFlag := flag.String("apps", "gmm,pagerank,redis,kmeans,wordcount", "load generator: comma-separated application mix")
 	dryRunFlag := flag.Bool("dry-run", true, "load generator: decide without deploying on the testbed")
 	deadlineFlag := flag.Float64("deadline-ms", 0, "load generator: per-request deadline, ms (0: server default)")
+	cpuprofileFlag := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofileFlag := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofileFlag, *memprofileFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer stopProf()
 
 	if *targetFlag != "" {
 		var apps []string
@@ -40,17 +58,17 @@ func main() {
 				apps = append(apps, a)
 			}
 		}
-		os.Exit(runLoadGen(loadGenOpts{
+		return runLoadGen(loadGenOpts{
 			target: *targetFlag, n: *nFlag, conc: *concFlag, rate: *rateFlag,
 			apps: apps, dryRun: *dryRunFlag, deadlineMs: *deadlineFlag,
-		}))
+		})
 	}
 
 	if *listFlag {
 		for _, d := range experiments.All() {
 			fmt.Printf("%-8s %s\n", d.ID, d.Title)
 		}
-		return
+		return 0
 	}
 
 	var scale experiments.Scale
@@ -63,7 +81,7 @@ func main() {
 		scale = experiments.Paper()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
+		return 2
 	}
 
 	var ds []experiments.Descriptor
@@ -74,7 +92,7 @@ func main() {
 			d, err := experiments.ByID(strings.TrimSpace(id))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				return 2
 			}
 			ds = append(ds, d)
 		}
@@ -98,6 +116,7 @@ func main() {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) with failed checks\n", failed)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	adrias-train [-scale fast|paper] [-out dir] [-eval]
+//	             [-cpuprofile file] [-memprofile file]
 package main
 
 import (
@@ -15,13 +16,29 @@ import (
 	"time"
 
 	"adrias"
+	"adrias/internal/profiling"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole command body so deferred profile teardown executes
+// on every exit path before the process terminates.
+func run() int {
 	scaleFlag := flag.String("scale", "fast", "training scale: fast or paper")
 	outFlag := flag.String("out", "models", "output directory for model files")
 	evalFlag := flag.Bool("eval", true, "print held-out accuracy after training")
+	cpuprofileFlag := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofileFlag := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofileFlag, *memprofileFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer stopProf()
 
 	var opts adrias.Options
 	switch *scaleFlag {
@@ -31,7 +48,7 @@ func main() {
 		opts = adrias.PaperOptions()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
+		return 2
 	}
 
 	start := time.Now()
@@ -40,7 +57,7 @@ func main() {
 	sys, err := adrias.Train(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("trained in %.1fs: %d windows, %d signatures\n",
 		time.Since(start).Seconds(), len(sys.Windows), len(sys.Pred.Sigs.Names()))
@@ -53,7 +70,8 @@ func main() {
 
 	if err := sys.SaveModels(*outFlag); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("models written to %s/\n", *outFlag)
+	return 0
 }

@@ -20,11 +20,12 @@ type PerfQuery struct {
 
 // PredictPerfBatch answers many queries against one shared history window.
 // The future system state Ŝ is propagated once through the system-state
-// model and reused by every query, and each class's queries fan out
-// through that performance model's clone-parallel batch inference — the
-// admission-batching fast path: N coalesced placement requests cost one
-// Ŝ forecast plus two batched model calls instead of up to 3·N single
-// inferences. Results and errors are per-query; a failing query (e.g. an
+// model and reused by every query, and each class's queries run as one
+// minibatch through that performance model's lockstep-batched inference —
+// the admission-batching fast path: N coalesced placement requests cost
+// one Ŝ forecast plus two batched model calls instead of up to 3·N single
+// inferences, and repeated inputs (the shared window, each app's
+// signature asked for both tiers) are encoded once. Results and errors are per-query; a failing query (e.g. an
 // app with no signature) does not abort the others.
 func (p *Predictor) PredictPerfBatch(queries []PerfQuery, window []mathx.Vector) (mathx.Vector, []error) {
 	preds := mathx.NewVector(len(queries))

@@ -1,0 +1,385 @@
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"adrias/internal/dataset"
+	"adrias/internal/mathx"
+	"adrias/internal/memsys"
+	"adrias/internal/nn"
+)
+
+// Batched model inference and training. Both predictors stage a minibatch
+// of windows into lockstep matrices (rows are samples) and run the nn
+// batched path — one GEMM pipeline per layer instead of a per-sample clone
+// fan-out. Row b of every staged matrix is produced by exactly the
+// floating-point operations the sequential path applies to sample b
+// (log1p → z-score in the same order), and the nn layers are bit-identical
+// per sample, so batched predictions equal sequential Predict calls bit
+// for bit. The staging buffers live in per-model scratch arenas
+// (mathx.EnsureMatrix): steady-state batched inference at a fixed batch
+// size performs no per-layer allocations, only the output vectors handed
+// to the caller. Scratch never reaches Clone or the gob wire format.
+
+// sysBatch is SysStateModel's batched staging arena.
+type sysBatch struct {
+	xs    []*mathx.Matrix // [B×M] normalized log inputs, one per step
+	headX *mathx.Matrix   // [B×(H+M)] encoder state ‖ normalized history mean
+	dY    *mathx.Matrix   // [B×M] training loss gradient
+	dh    *mathx.Matrix   // [B×H] gradient slice handed to the encoder
+}
+
+// uniformLen returns the shared window length, or -1 when the windows are
+// ragged (mixed lengths cannot run in lockstep).
+func uniformLen(pasts [][]mathx.Vector) int {
+	T := len(pasts[0])
+	for _, p := range pasts[1:] {
+		if len(p) != T {
+			return -1
+		}
+	}
+	return T
+}
+
+// stageWindow writes the normalized log history of one window into row b of
+// the per-step input matrices and accumulates the log-space history mean
+// into skip — the same op sequence as TransformSeq(logSeq(past)) plus the
+// headInput mean, inlined to stay allocation-free.
+func stageWindow(xs []*mathx.Matrix, b int, past []mathx.Vector, norm *dataset.Normalizer, skip mathx.Vector) {
+	for j := range skip {
+		skip[j] = 0
+	}
+	for t, raw := range past {
+		row := xs[t].Row(b)
+		for j, x := range raw {
+			if x < 0 {
+				x = 0
+			}
+			lg := math.Log1p(x)
+			skip[j] += lg
+			row[j] = (lg - norm.Mean[j]) / norm.Std[j]
+		}
+	}
+	inv := 1 / float64(len(past))
+	for j := range skip {
+		skip[j] *= inv
+		skip[j] = (skip[j] - norm.Mean[j]) / norm.Std[j]
+	}
+}
+
+// forecastBatch runs the batched forward pass over uniform-length windows
+// and returns the normalized log-space predictions, one row per window,
+// arena-owned (valid until the next batched call on this model).
+func (m *SysStateModel) forecastBatch(pasts [][]mathx.Vector, train bool) *mathx.Matrix {
+	B, T := len(pasts), len(pasts[0])
+	H, M := m.Cfg.Hidden, memsys.NumMetrics
+	s := &m.bat
+	s.xs = mathx.EnsureMatrices(s.xs, T, B, M)
+	s.headX = mathx.EnsureMatrix(s.headX, B, H+M)
+	for b, past := range pasts {
+		stageWindow(s.xs, b, past, m.normIn, s.headX.Row(b)[H:])
+	}
+	h := m.enc.EncodeBatch(s.xs, train)
+	for b := 0; b < B; b++ {
+		copy(s.headX.Row(b)[:H], h.Row(b))
+	}
+	return m.head.ForwardBatch(s.headX, train)
+}
+
+// forecastInto is the batched inference core behind PredictBatch: one
+// lockstep forward, then the inverse transform (z-score⁻¹ → expm1, the
+// exact op sequence of expVec(normOut.Inverse(y))) into freshly allocated
+// output rows sharing one backing array.
+func (m *SysStateModel) forecastInto(out []mathx.Vector, pasts [][]mathx.Vector) {
+	Y := m.forecastBatch(pasts, false)
+	M := memsys.NumMetrics
+	buf := mathx.NewVector(len(out) * M)
+	for b := range out {
+		row, y := buf[b*M:(b+1)*M], Y.Row(b)
+		for j, v := range y {
+			e := math.Expm1(v*m.normOut.Std[j] + m.normOut.Mean[j])
+			if e < 0 {
+				e = 0
+			}
+			row[j] = e
+		}
+		out[b] = row
+	}
+}
+
+// batchStep returns the shard-at-a-time closure batched training drives
+// (Trainer.AddBatchReplica): one lockstep forward/backward per shard.
+// Head gradients accumulate in sample order (bit-identical to the
+// per-sample step); the LSTM encoder's weight-gradient sum interleaves
+// samples within each timestep — the Workers ≥ 2 reassociation caveat.
+func (m *SysStateModel) batchStep(windows []dataset.Window, idx []int) func([]int) (float64, error) {
+	step := m.step(windows, idx)
+	pasts := make([][]mathx.Vector, 0, m.Cfg.Batch)
+	return func(shard []int) (float64, error) {
+		pasts = pasts[:0]
+		for _, pi := range shard {
+			pasts = append(pasts, windows[idx[pi]].Past)
+		}
+		if uniformLen(pasts) < 0 {
+			// Ragged windows cannot run in lockstep; fall back per sample.
+			var total float64
+			for _, pi := range shard {
+				l, err := step(pi)
+				if err != nil {
+					return total, err
+				}
+				total += l
+			}
+			return total, nil
+		}
+		B, H := len(shard), m.Cfg.Hidden
+		Y := m.forecastBatch(pasts, true)
+		s := &m.bat
+		s.dY = mathx.EnsureMatrix(s.dY, B, memsys.NumMetrics)
+		var total float64
+		for k, pi := range shard {
+			target := m.normOut.Transform(logVec(windows[idx[pi]].FutureMean))
+			loss, g := nn.MSELoss(Y.Row(k), target)
+			total += loss
+			copy(s.dY.Row(k), g)
+		}
+		dX := m.head.BackwardBatch(s.dY)
+		s.dh = mathx.EnsureMatrix(s.dh, B, H)
+		for b := 0; b < B; b++ {
+			copy(s.dh.Row(b), dX.Row(b)[:H])
+		}
+		m.enc.BackwardFromLastBatch(s.dh)
+		return total, nil
+	}
+}
+
+// perfBatch is PerfModel's batched staging arena.
+type perfBatch struct {
+	xsS   []*mathx.Matrix // [B×M] past-window steps
+	xsK   []*mathx.Matrix // [B×M] signature steps
+	headX *mathx.Matrix   // [B×(2H+1+M)]
+	dY    *mathx.Matrix   // [B×1]
+	dhS   *mathx.Matrix   // [B×H]
+	dhK   *mathx.Matrix   // [B×H]
+}
+
+// stageSeq writes the normalized log sequence into row b of the per-step
+// matrices — TransformSeq(logSeq(seq)) inlined, no skip-mean.
+func stageSeq(xs []*mathx.Matrix, b int, seq []mathx.Vector, norm *dataset.Normalizer) {
+	for t, raw := range seq {
+		row := xs[t].Row(b)
+		for j, x := range raw {
+			if x < 0 {
+				x = 0
+			}
+			row[j] = (math.Log1p(x) - norm.Mean[j]) / norm.Std[j]
+		}
+	}
+}
+
+// seqKey identifies a sequence by slice identity (first-row address and
+// length): two samples referencing the same window or signature slice are
+// literally the same input, with no element comparison needed.
+type seqKey struct {
+	first *mathx.Vector
+	n     int
+}
+
+func seqID(s []mathx.Vector) seqKey { return seqKey{&s[0], len(s)} }
+
+// dedupSeqs maps every sequence to an index into the unique-sequence list
+// it returns. Admission batches are full of repeats — every query in a
+// placement batch shares one history window, and a BE app's local/remote
+// queries share a signature — and encoding is a pure function of the input
+// bits, so encoding each unique sequence once and scattering the resulting
+// rows is bit-identical to encoding all B.
+func dedupSeqs(seqs [][]mathx.Vector, rows []int) (uniq [][]mathx.Vector) {
+	seen := make(map[seqKey]int, len(seqs))
+	for i, s := range seqs {
+		k := seqID(s)
+		u, ok := seen[k]
+		if !ok {
+			u = len(uniq)
+			seen[k] = u
+			uniq = append(uniq, s)
+		}
+		rows[i] = u
+	}
+	return uniq
+}
+
+// forwardGroup runs the twin-encoder forward for a group of samples that
+// share a past length and a signature length (the lockstep requirement).
+// Each encoder processes the group's unique sequences once (dedupSeqs);
+// in training mode dedup is skipped so every sample contributes its own
+// gradient path. futures[k] may be nil (FutureNone), zeroing that input
+// slot as the sequential forward does. The returned [B×1] predictions are
+// arena-owned.
+func (m *PerfModel) forwardGroup(group []*PerfSample, sigSteps [][]mathx.Vector, futures []mathx.Vector, train bool) *mathx.Matrix {
+	B := len(group)
+	Ts, Tk := len(group[0].Past), len(sigSteps[0])
+	H, M := m.Cfg.Hidden, memsys.NumMetrics
+	pasts := make([][]mathx.Vector, B)
+	for k, sm := range group {
+		pasts[k] = sm.Past
+	}
+	rowS, rowK := make([]int, B), make([]int, B)
+	var uniqS, uniqK [][]mathx.Vector
+	if train {
+		// Every sample must push its own gradients through the encoders.
+		uniqS, uniqK = pasts, sigSteps
+		for k := range rowS {
+			rowS[k], rowK[k] = k, k
+		}
+	} else {
+		uniqS = dedupSeqs(pasts, rowS)
+		uniqK = dedupSeqs(sigSteps, rowK)
+	}
+	s := &m.bat
+	s.xsS = mathx.EnsureMatrices(s.xsS, Ts, len(uniqS), M)
+	s.xsK = mathx.EnsureMatrices(s.xsK, Tk, len(uniqK), M)
+	for u, p := range uniqS {
+		stageSeq(s.xsS, u, p, m.normIn)
+	}
+	for u, p := range uniqK {
+		stageSeq(s.xsK, u, p, m.normIn)
+	}
+	hS := m.encS.EncodeBatch(s.xsS, train)
+	hK := m.encK.EncodeBatch(s.xsK, train)
+	s.headX = mathx.EnsureMatrix(s.headX, B, 2*H+1+M)
+	for k, sm := range group {
+		x := s.headX.Row(k)
+		copy(x[:H], hS.Row(rowS[k]))
+		copy(x[H:2*H], hK.Row(rowK[k]))
+		x[2*H] = sm.Remote
+		fut := x[2*H+1:]
+		if f := futures[k]; f != nil {
+			for j, v := range f {
+				if v < 0 {
+					v = 0
+				}
+				fut[j] = (math.Log1p(v) - m.normIn.Mean[j]) / m.normIn.Std[j]
+			}
+		} else {
+			for j := range fut {
+				fut[j] = 0
+			}
+		}
+	}
+	return m.head.ForwardBatch(s.headX, train)
+}
+
+// predictEachChunk resolves one contiguous chunk of samples on this model
+// instance: per-sample input errors first (same messages and precedence as
+// PredictWith), then one lockstep batched forward per
+// (past-length, signature-length) group. preds/errs are the chunk's slices
+// of the caller's output.
+func (m *PerfModel) predictEachChunk(samples []PerfSample, kind FutureKind, preds mathx.Vector, errs []error) {
+	type shape struct{ ts, tk int }
+	sigSteps := make([][]mathx.Vector, len(samples))
+	futures := make([]mathx.Vector, len(samples))
+	groups := make(map[shape][]int)
+	order := make([]shape, 0, 1)
+	for i := range samples {
+		s := &samples[i]
+		f := s.Future(kind)
+		if kind != FutureNone && f == nil {
+			errs[i] = fmt.Errorf("models: sample %s missing %v future", s.App, kind)
+			continue
+		}
+		sig, ok := m.sigs.Get(s.App)
+		if !ok {
+			errs[i] = fmt.Errorf("models: no signature for %q", s.App)
+			continue
+		}
+		futures[i] = f
+		sigSteps[i] = sig.Steps
+		k := shape{len(s.Past), len(sig.Steps)}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	for _, k := range order {
+		idx := groups[k]
+		group := make([]*PerfSample, len(idx))
+		steps := make([][]mathx.Vector, len(idx))
+		futs := make([]mathx.Vector, len(idx))
+		for j, i := range idx {
+			group[j], steps[j], futs[j] = &samples[i], sigSteps[i], futures[i]
+		}
+		Y := m.forwardGroup(group, steps, futs, false)
+		for j, i := range idx {
+			out := math.Exp(Y.Data[j]*m.normOut.Std[0] + m.normOut.Mean[0])
+			if math.IsNaN(out) || math.IsInf(out, 0) {
+				errs[i] = fmt.Errorf("models: non-finite prediction for %s", samples[i].App)
+				continue
+			}
+			preds[i] = out
+		}
+	}
+}
+
+// batchStep returns PerfModel's shard-at-a-time training closure
+// (Trainer.AddBatchReplica). The shard is processed as lockstep groups in
+// order of first appearance; the same reassociation caveat as
+// SysStateModel.batchStep applies to the encoder weight gradients.
+func (m *PerfModel) batchStep(samples []PerfSample, trainIdx []int) func([]int) (float64, error) {
+	return func(shard []int) (float64, error) {
+		type shape struct{ ts, tk int }
+		groups := make(map[shape][]int)
+		order := make([]shape, 0, 1)
+		sigSteps := make([][]mathx.Vector, len(shard))
+		futures := make([]mathx.Vector, len(shard))
+		for j, pi := range shard {
+			s := &samples[trainIdx[pi]]
+			f := s.Future(m.Cfg.TrainFuture)
+			if m.Cfg.TrainFuture != FutureNone && f == nil {
+				return 0, fmt.Errorf("models: sample %s missing %v future", s.App, m.Cfg.TrainFuture)
+			}
+			sig, ok := m.sigs.Get(s.App)
+			if !ok {
+				return 0, fmt.Errorf("models: no signature for %q", s.App)
+			}
+			futures[j] = f
+			sigSteps[j] = sig.Steps
+			k := shape{len(s.Past), len(sig.Steps)}
+			if _, seen := groups[k]; !seen {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], j)
+		}
+		H := m.Cfg.Hidden
+		var total float64
+		for _, k := range order {
+			idx := groups[k]
+			B := len(idx)
+			group := make([]*PerfSample, B)
+			steps := make([][]mathx.Vector, B)
+			futs := make([]mathx.Vector, B)
+			for j, gi := range idx {
+				group[j], steps[j], futs[j] = &samples[trainIdx[shard[gi]]], sigSteps[gi], futures[gi]
+			}
+			Y := m.forwardGroup(group, steps, futs, true)
+			s := &m.bat
+			s.dY = mathx.EnsureMatrix(s.dY, B, 1)
+			for j, sm := range group {
+				target := m.normOut.Transform(mathx.Vector{math.Log(sm.Perf)})
+				loss, g := nn.MSELoss(Y.Row(j), target)
+				total += loss
+				s.dY.Data[j] = g[0]
+			}
+			dX := m.head.BackwardBatch(s.dY)
+			s.dhS = mathx.EnsureMatrix(s.dhS, B, H)
+			s.dhK = mathx.EnsureMatrix(s.dhK, B, H)
+			for b := 0; b < B; b++ {
+				copy(s.dhS.Row(b), dX.Row(b)[:H])
+				copy(s.dhK.Row(b), dX.Row(b)[H:2*H])
+			}
+			m.encS.BackwardFromLastBatch(s.dhS)
+			m.encK.BackwardFromLastBatch(s.dhK)
+		}
+		return total, nil
+	}
+}

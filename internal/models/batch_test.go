@@ -1,0 +1,257 @@
+package models
+
+import (
+	"bytes"
+	"testing"
+
+	"adrias/internal/dataset"
+	"adrias/internal/mathx"
+)
+
+// TestSysStateBatchedFitLearnsAndIsDeterministic: the lockstep-batched fit
+// must reach the sequential quality bar and be exactly reproducible run to
+// run (the batched gradient accumulation is deterministic for a fixed
+// shard order, even though it reassociates against the per-sample loop).
+func TestSysStateBatchedFitLearnsAndIsDeterministic(t *testing.T) {
+	results := smallCorpus(t, 3, 500)
+	spec := dataset.WindowSpec{Hist: 60, Horizon: 60, Stride: 10, Hop: 7}
+	var windows []dataset.Window
+	for _, r := range results {
+		ws, err := dataset.FromHistory(r.History, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		windows = append(windows, ws...)
+	}
+	train, test := dataset.Split(len(windows), 0.6, 11)
+	cfg := tinySysConfig()
+	cfg.Batched = true
+
+	a := NewSysStateModel(cfg)
+	if err := a.Fit(windows, train); err != nil {
+		t.Fatal(err)
+	}
+	ev := a.Evaluate(windows, test)
+	if ev.R2Avg < 0.5 {
+		t.Errorf("batched sysstate R² avg = %v, want > 0.5", ev.R2Avg)
+	}
+	t.Logf("batched sysstate R² = %.3f", ev.R2Avg)
+
+	b := NewSysStateModel(cfg)
+	if err := b.Fit(windows, train); err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		for j := range pa[i].W.Data {
+			if pa[i].W.Data[j] != pb[i].W.Data[j] {
+				t.Fatalf("batched fit rerun diverged: %s[%d] %v vs %v",
+					pa[i].Name, j, pa[i].W.Data[j], pb[i].W.Data[j])
+			}
+		}
+	}
+}
+
+// TestPerfBatchedFitLearnsAndIsDeterministic: same bar for the twin-encoder
+// performance model.
+func TestPerfBatchedFitLearnsAndIsDeterministic(t *testing.T) {
+	be, sigs := buildPerfFixtures(t)
+	train, test := dataset.Split(len(be), 0.6, 13)
+	cfg := tinyPerfConfig()
+	cfg.Batched = true
+
+	a := NewPerfModel(cfg, sigs)
+	if err := a.Fit(be, train); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := a.Evaluate(be, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.R2 < 0.2 {
+		t.Errorf("batched perf R² = %v, want > 0.2", ev.R2)
+	}
+	t.Logf("batched perf R² = %.3f", ev.R2)
+
+	b := NewPerfModel(cfg, sigs)
+	if err := b.Fit(be, train); err != nil {
+		t.Fatal(err)
+	}
+	perfParamsEqual(t, a, b, "batched fit rerun")
+}
+
+// TestPerfPredictEachBatchedErrorContract: the batched PredictEach must keep
+// per-sample error isolation and the PredictWith error precedence — a
+// sample missing its future or signature fails alone, with the exact
+// sequential error message, while its batchmates still resolve.
+func TestPerfPredictEachBatchedErrorContract(t *testing.T) {
+	be, sigs := buildPerfFixtures(t)
+	train, _ := dataset.Split(len(be), 0.6, 13)
+	m := NewPerfModel(tinyPerfConfig(), sigs)
+	if err := m.Fit(be, train); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]PerfSample, 4)
+	batch[0] = be[0]
+	batch[1] = be[1]
+	batch[1].App = "no-such-app"
+	batch[2] = be[2]
+	batch[2].Future120 = nil
+	batch[3] = be[3]
+
+	preds, errs := m.PredictEach(batch, Future120Actual)
+	for _, i := range []int{0, 3} {
+		if errs[i] != nil {
+			t.Fatalf("sample %d should resolve, got %v", i, errs[i])
+		}
+		want, err := m.PredictWith(&batch[i], Future120Actual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if preds[i] != want {
+			t.Fatalf("sample %d: batched %v, sequential %v", i, preds[i], want)
+		}
+	}
+	if errs[1] == nil || errs[1].Error() != `models: no signature for "no-such-app"` {
+		t.Errorf("missing-signature error = %v", errs[1])
+	}
+	if errs[2] == nil || errs[2].Error() == errs[1].Error() {
+		t.Errorf("missing-future error = %v", errs[2])
+	}
+	if _, want := m.PredictWith(&batch[2], Future120Actual); want == nil || errs[2].Error() != want.Error() {
+		t.Errorf("batched error %q, sequential %q", errs[2], want)
+	}
+}
+
+// TestSysStateGobUnaffectedByBatchState is the serialization guard: hot
+// batched-inference arenas must not leak into the gob stream, and a model
+// saved before the arenas existed must load and predict bit-identically
+// after batched calls populated them.
+func TestSysStateGobUnaffectedByBatchState(t *testing.T) {
+	m, windows, _, test := trainSmallSysModel(t)
+	pasts := make([][]mathx.Vector, len(test))
+	for k, i := range test {
+		pasts[k] = windows[i].Past
+	}
+
+	var cold bytes.Buffer
+	if err := m.Save(&cold); err != nil {
+		t.Fatal(err)
+	}
+	want := m.PredictBatch(pasts) // populates the staging and layer arenas
+
+	var hot bytes.Buffer
+	if err := m.Save(&hot); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold.Bytes(), hot.Bytes()) {
+		t.Fatal("batched scratch state leaked into the gob encoding")
+	}
+
+	m2 := NewSysStateModel(tinySysConfig())
+	if err := m2.Load(&cold); err != nil {
+		t.Fatal(err)
+	}
+	got := m2.PredictBatch(pasts)
+	for k := range want {
+		for j := range want[k] {
+			if got[k][j] != want[k][j] {
+				t.Fatalf("prediction %d[%d] after round-trip: %v vs %v",
+					k, j, got[k][j], want[k][j])
+			}
+		}
+	}
+}
+
+// TestPerfGobUnaffectedByBatchState: same guard for the performance model.
+func TestPerfGobUnaffectedByBatchState(t *testing.T) {
+	be, sigs := buildPerfFixtures(t)
+	train, test := dataset.Split(len(be), 0.6, 13)
+	m := NewPerfModel(tinyPerfConfig(), sigs)
+	if err := m.Fit(be, train); err != nil {
+		t.Fatal(err)
+	}
+	sub := make([]PerfSample, len(test))
+	for k, i := range test {
+		sub[k] = be[i]
+	}
+
+	var cold bytes.Buffer
+	if err := m.Save(&cold); err != nil {
+		t.Fatal(err)
+	}
+	want, errs := m.PredictEach(sub, Future120Actual)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var hot bytes.Buffer
+	if err := m.Save(&hot); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold.Bytes(), hot.Bytes()) {
+		t.Fatal("batched scratch state leaked into the gob encoding")
+	}
+
+	m2 := NewPerfModel(tinyPerfConfig(), sigs)
+	if err := m2.Load(&cold); err != nil {
+		t.Fatal(err)
+	}
+	got, errs := m2.PredictEach(sub, Future120Actual)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("prediction %d after round-trip: %v vs %v", k, got[k], want[k])
+		}
+	}
+}
+
+// benchSysModel trains one small system-state model and stages B uniform
+// windows for the inference benchmarks.
+func benchSysModel(b *testing.B, batch int) (*SysStateModel, [][]mathx.Vector) {
+	m, windows, _, test := trainSmallSysModel(b)
+	if len(test) < batch {
+		b.Fatalf("only %d test windows", len(test))
+	}
+	pasts := make([][]mathx.Vector, batch)
+	for k := 0; k < batch; k++ {
+		pasts[k] = windows[test[k]].Past
+	}
+	return m, pasts
+}
+
+// BenchmarkPredictBatchB8 is the batch-inference headline: 8 windows per
+// op through the lockstep-batched forward on one goroutine (batchWorkers
+// keeps B=8 on the calling goroutine). Compare against
+// BenchmarkPredictCloneFanoutB8, the pre-refactor path.
+func BenchmarkPredictBatchB8(b *testing.B) {
+	m, pasts := benchSysModel(b, 8)
+	out := make([]mathx.Vector, len(pasts))
+	m.forecastInto(out, pasts) // warm the arenas
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.forecastInto(out, pasts)
+	}
+}
+
+// BenchmarkPredictCloneFanoutB8 reproduces the retired clone-fan-out
+// inference path at one core: the fan-out degenerated to a sequential
+// Predict loop (inferWorkers clamped to GOMAXPROCS), so a per-window
+// Predict loop is exactly what a B=8 batch cost before the batched tensor
+// core. Run with -cpu 1 for the like-for-like comparison.
+func BenchmarkPredictCloneFanoutB8(b *testing.B) {
+	m, pasts := benchSysModel(b, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pasts {
+			m.Predict(p)
+		}
+	}
+}

@@ -14,7 +14,7 @@ import (
 var registry = workload.NewRegistry()
 
 // smallCorpus runs a handful of short scenarios for model smoke training.
-func smallCorpus(t *testing.T, n int, dur float64) []scenario.Result {
+func smallCorpus(t testing.TB, n int, dur float64) []scenario.Result {
 	t.Helper()
 	spec := scenario.CorpusSpec{
 		BaseSeed:    400,
@@ -161,7 +161,7 @@ func tinySysConfig() SysStateConfig {
 	return SysStateConfig{Hidden: 12, BlockDim: 16, Dropout: 0, LR: 2e-3, Epochs: 6, Batch: 16, Seed: 3}
 }
 
-func trainSmallSysModel(t *testing.T) (*SysStateModel, []dataset.Window, []int, []int) {
+func trainSmallSysModel(t testing.TB) (*SysStateModel, []dataset.Window, []int, []int) {
 	t.Helper()
 	results := smallCorpus(t, 3, 500)
 	spec := dataset.WindowSpec{Hist: 60, Horizon: 60, Stride: 10, Hop: 7}
@@ -234,7 +234,7 @@ func tinyPerfConfig() PerfConfig {
 	}
 }
 
-func buildPerfFixtures(t *testing.T) ([]PerfSample, *SignatureStore) {
+func buildPerfFixtures(t testing.TB) ([]PerfSample, *SignatureStore) {
 	t.Helper()
 	results := smallCorpus(t, 6, 600)
 	spec := PerfDatasetSpec{HistTicks: 60, FutureTicks: 60, Stride: 10}

@@ -10,8 +10,8 @@ import "runtime"
 // experiment's reproducibility contract and defaults to sequential.
 //
 // Inference parallelism needs no knob: batch prediction is per-sample
-// deterministic and placement-invariant, so fanning out across CPUs
-// returns bit-identical results to the sequential loop.
+// deterministic and placement-invariant, so sharding across CPUs returns
+// bit-identical results to the sequential loop.
 
 // trainWorkers resolves a config's Workers field: 0 (the zero value) and 1
 // both select the sequential path, bit-identical to the pre-parallel
@@ -23,12 +23,18 @@ func trainWorkers(cfg int) int {
 	return cfg
 }
 
-// inferWorkers sizes the batch-inference pool: one goroutine per available
-// CPU, never more than one per task.
-func inferWorkers(n int) int {
+// batchWorkers sizes the batch-inference pool. Since the lockstep-batched
+// forward replaced the per-sample clone fan-out, parallelism only pays once
+// each worker has a real minibatch to chew on: one worker per 8 samples,
+// capped at the CPU count. Admission-sized batches (n ≤ 8) therefore run as
+// a single batched call on the calling goroutine — no clone, no goroutine —
+// and large evaluation sweeps shard contiguous chunks across clones that
+// each run the batched path. Results are bit-identical for every worker
+// count (batched inference is per-sample deterministic).
+func batchWorkers(n int) int {
 	w := runtime.GOMAXPROCS(0)
-	if w > n {
-		w = n
+	if w > n/8 {
+		w = n / 8
 	}
 	if w < 1 {
 		w = 1

@@ -3,6 +3,7 @@ package models
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"adrias/internal/dataset"
@@ -194,7 +195,7 @@ func TestPerfModelCloneIndependent(t *testing.T) {
 	}
 }
 
-// TestPerfPredictBatchMatchesSequential: fan-out inference is
+// TestPerfPredictBatchMatchesSequential: lockstep-batched inference is
 // placement-invariant — identical to one-at-a-time PredictWith calls.
 func TestPerfPredictBatchMatchesSequential(t *testing.T) {
 	be, sigs := buildPerfFixtures(t)
@@ -278,10 +279,10 @@ func TestTrainWorkersClamp(t *testing.T) {
 	if trainWorkers(0) != 1 || trainWorkers(-5) != 1 || trainWorkers(3) != 3 {
 		t.Error("trainWorkers clamp wrong")
 	}
-	if inferWorkers(0) != 1 {
-		t.Error("inferWorkers should floor at 1")
+	if batchWorkers(0) != 1 || batchWorkers(8) != 1 {
+		t.Error("batchWorkers should floor at 1 (single batched call for small batches)")
 	}
-	if w := inferWorkers(2); w < 1 || w > 2 {
-		t.Errorf("inferWorkers(2) = %d, want in [1,2]", w)
+	if w := batchWorkers(1 << 20); w < 1 || w > runtime.GOMAXPROCS(0) {
+		t.Errorf("batchWorkers(large) = %d, want in [1,GOMAXPROCS]", w)
 	}
 }

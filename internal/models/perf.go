@@ -192,8 +192,15 @@ type PerfConfig struct {
 	// gradient reduction (seed-reproducible for a fixed n, but the
 	// per-sample gradients sum in a different order than sequentially);
 	// 0 or 1 trains sequentially, bit-identical to the pre-parallel
-	// trainer. Batch inference always parallelizes — see Evaluate.
+	// trainer. Batch inference always batches — see PredictEach.
 	Workers int
+	// Batched routes training through the lockstep-batched forward/backward
+	// (one GEMM pipeline per minibatch shard instead of per-sample GEMVs).
+	// The head accumulates gradients in sample order; the two LSTM
+	// encoders' weight-gradient sums interleave samples within each
+	// timestep, so a batched fit reproduces a sequential one only up to
+	// floating-point reassociation — the same caveat as Workers ≥ 2.
+	Batched bool
 	// TrainFuture/EvalFuture select the Ŝ source in each phase — the paper's
 	// {train,test} ablation pairs. The pragmatic deployment choice is
 	// {Future120Actual, FuturePredicted}.
@@ -228,6 +235,7 @@ type PerfModel struct {
 	normIn  *dataset.Normalizer // metric-space normalizer (S, Ŝ, k rows)
 	normOut *dataset.Normalizer // scalar target normalizer
 	trained bool
+	bat     perfBatch // batched staging arena (batch.go); never cloned or saved
 }
 
 // NewPerfModel builds the twin-encoder architecture.
@@ -348,13 +356,19 @@ func (m *PerfModel) Fit(samples []PerfSample, trainIdx []int) error {
 
 	rng := randutil.New(m.Cfg.Seed).Split(0xbee)
 	tr := nn.NewTrainer(nn.NewAdam(m.Cfg.LR), m.Cfg.Batch, m.Params())
+	register := func(rep *PerfModel) {
+		if m.Cfg.Batched {
+			tr.AddBatchReplica(rep.Params(), rep.batchStep(samples, trainIdx))
+		} else {
+			tr.AddReplica(rep.Params(), rep.step(samples, trainIdx))
+		}
+	}
 	if W := trainWorkers(m.Cfg.Workers); W <= 1 {
-		tr.AddReplica(m.Params(), m.step(samples, trainIdx))
+		register(m)
 	} else {
 		repRng := randutil.New(m.Cfg.Seed).Split(0x9a9)
 		for w := 0; w < W; w++ {
-			rep := m.cloneWith(repRng.Split(int64(w)))
-			tr.AddReplica(rep.Params(), rep.step(samples, trainIdx))
+			register(m.cloneWith(repRng.Split(int64(w))))
 		}
 	}
 	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
@@ -407,12 +421,16 @@ func (m *PerfModel) Evaluate(samples []PerfSample, testIdx []int) (PerfEval, err
 	return m.EvaluateWith(samples, testIdx, m.Cfg.EvalFuture)
 }
 
-// PredictEach predicts every sample, fanning the loop out across model
-// clones, one per available CPU. Predictions are per-sample deterministic,
-// so results are identical to a sequential PredictWith loop. Unlike
-// PredictBatch, a failing sample does not abort the rest: errs[i] is set
+// PredictEach predicts every sample through the lockstep-batched forward:
+// samples sharing a (past-length, signature-length) shape run as one
+// minibatch per layer call instead of a per-sample clone fan-out.
+// Predictions are per-sample deterministic and the batched kernels are
+// bit-identical per sample, so results equal a sequential PredictWith loop
+// bit for bit. A failing sample does not abort the rest: errs[i] is set
 // and the remaining samples still resolve — the contract admission
 // batching needs, where one unknown application must not fail the batch.
+// Admission-sized batches run on the calling goroutine; large sweeps shard
+// contiguous chunks across model clones (see batchWorkers).
 func (m *PerfModel) PredictEach(samples []PerfSample, kind FutureKind) (mathx.Vector, []error) {
 	preds := mathx.NewVector(len(samples))
 	errs := make([]error, len(samples))
@@ -423,34 +441,34 @@ func (m *PerfModel) PredictEach(samples []PerfSample, kind FutureKind) (mathx.Ve
 		}
 		return preds, errs
 	}
-	W := inferWorkers(len(samples))
+	W := batchWorkers(len(samples))
 	if W <= 1 {
-		for i := range samples {
-			preds[i], errs[i] = m.PredictWith(&samples[i], kind)
-		}
+		m.predictEachChunk(samples, kind, preds, errs)
 		return preds, errs
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < W; w++ {
+		lo, hi := w*len(samples)/W, (w+1)*len(samples)/W
+		if lo == hi {
+			continue
+		}
 		rep := m
 		if w > 0 {
 			rep = m.Clone()
 		}
 		wg.Add(1)
-		go func(w int, rep *PerfModel) {
+		go func(rep *PerfModel, lo, hi int) {
 			defer wg.Done()
-			for i := w; i < len(samples); i += W {
-				preds[i], errs[i] = rep.PredictWith(&samples[i], kind)
-			}
-		}(w, rep)
+			rep.predictEachChunk(samples[lo:hi], kind, preds[lo:hi], errs[lo:hi])
+		}(rep, lo, hi)
 	}
 	wg.Wait()
 	return preds, errs
 }
 
-// predictBatch runs PredictWith for every index, fanning the loop out
-// across model clones. The first error, scanned in index order, aborts
-// the batch — the evaluation-harness contract.
+// predictBatch runs the selected indices through the lockstep-batched
+// PredictEach. The first error, scanned in index order, aborts the batch —
+// the evaluation-harness contract.
 func (m *PerfModel) predictBatch(samples []PerfSample, idx []int, kind FutureKind) (mathx.Vector, error) {
 	if !m.trained {
 		return nil, fmt.Errorf("models: PerfModel.Predict before Fit/Load")
@@ -469,9 +487,9 @@ func (m *PerfModel) predictBatch(samples []PerfSample, idx []int, kind FutureKin
 }
 
 // PredictBatch predicts every sample using the configured evaluation Ŝ
-// source, fanning the loop out across model clones (one per available CPU).
-// Results are identical to sequential Predict calls. Serving callers use it
-// to amortize admission batches over the clone fan-out.
+// source through the lockstep-batched forward. Results are bit-identical
+// to sequential Predict calls. Serving callers use it to amortize a whole
+// admission batch over one batched inference per perf model.
 func (m *PerfModel) PredictBatch(samples []PerfSample) (mathx.Vector, error) {
 	return m.PredictBatchWith(samples, m.Cfg.EvalFuture)
 }

@@ -27,8 +27,17 @@ type SysStateConfig struct {
 	// gradient reduction (seed-reproducible for a fixed n, but the
 	// per-sample gradients sum in a different order than sequentially);
 	// 0 or 1 trains sequentially, bit-identical to the pre-parallel
-	// trainer. Batch inference always parallelizes — see PredictBatch.
+	// trainer. Batch inference always batches — see PredictBatch.
 	Workers int
+	// Batched routes training through the lockstep-batched forward/backward
+	// (one GEMM pipeline per minibatch shard instead of per-sample GEMVs).
+	// The head accumulates gradients in sample order (bit-identical to the
+	// per-sample step); the LSTM encoder's weight-gradient sum interleaves
+	// samples within each timestep, so a batched fit reproduces a
+	// sequential one only up to floating-point reassociation — the same
+	// caveat as Workers ≥ 2, and like it, part of the experiment's
+	// reproducibility contract.
+	Batched bool
 }
 
 // DefaultSysStateConfig returns a configuration that trains in seconds on
@@ -54,6 +63,7 @@ type SysStateModel struct {
 	normIn  *dataset.Normalizer
 	normOut *dataset.Normalizer
 	trained bool
+	bat     sysBatch // batched staging arena (batch.go); never cloned or saved
 }
 
 // NewSysStateModel builds the architecture for the standard 7-metric input.
@@ -149,13 +159,19 @@ func (m *SysStateModel) Fit(windows []dataset.Window, trainIdx []int) error {
 	rng := randutil.New(m.Cfg.Seed).Split(0x7ea)
 	idx := append([]int(nil), trainIdx...)
 	tr := nn.NewTrainer(nn.NewAdam(m.Cfg.LR), m.Cfg.Batch, m.Params())
+	register := func(rep *SysStateModel) {
+		if m.Cfg.Batched {
+			tr.AddBatchReplica(rep.Params(), rep.batchStep(windows, idx))
+		} else {
+			tr.AddReplica(rep.Params(), rep.step(windows, idx))
+		}
+	}
 	if W := trainWorkers(m.Cfg.Workers); W <= 1 {
-		tr.AddReplica(m.Params(), m.step(windows, idx))
+		register(m)
 	} else {
 		repRng := randutil.New(m.Cfg.Seed).Split(0x9a9)
 		for w := 0; w < W; w++ {
-			rep := m.cloneWith(repRng.Split(int64(w)))
-			tr.AddReplica(rep.Params(), rep.step(windows, idx))
+			register(m.cloneWith(repRng.Split(int64(w))))
 		}
 	}
 	for epoch := 0; epoch < m.Cfg.Epochs; epoch++ {
@@ -180,35 +196,49 @@ func (m *SysStateModel) Predict(past []mathx.Vector) mathx.Vector {
 	return expVec(m.normOut.Inverse(y))
 }
 
-// PredictBatch forecasts every history window, fanning the loop out across
-// model clones, one per available CPU. Inference is deterministic and
-// per-sample, so the result is identical to sequential Predict calls —
-// only the wall time changes.
+// PredictBatch forecasts every history window through the lockstep-batched
+// forward: the windows are staged as one minibatch per worker and each
+// layer runs one GEMM instead of a GEMV per window. Inference is
+// deterministic and per-sample bit-identical to the batched kernels'
+// sequential counterparts, so the result equals sequential Predict calls
+// bit for bit — only the wall time changes. Admission-sized batches run as
+// a single batched call on the calling goroutine; large sweeps shard
+// contiguous chunks across model clones (see batchWorkers). Ragged window
+// lengths fall back to per-window Predict calls.
 func (m *SysStateModel) PredictBatch(pasts [][]mathx.Vector) []mathx.Vector {
 	if !m.trained {
 		panic("models: SysStateModel.PredictBatch before Fit/Load")
 	}
 	out := make([]mathx.Vector, len(pasts))
-	W := inferWorkers(len(pasts))
-	if W <= 1 {
+	if len(pasts) == 0 {
+		return out
+	}
+	if uniformLen(pasts) < 0 {
 		for i, p := range pasts {
 			out[i] = m.Predict(p)
 		}
 		return out
 	}
+	W := batchWorkers(len(pasts))
+	if W <= 1 {
+		m.forecastInto(out, pasts)
+		return out
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < W; w++ {
+		lo, hi := w*len(pasts)/W, (w+1)*len(pasts)/W
+		if lo == hi {
+			continue
+		}
 		rep := m
 		if w > 0 {
 			rep = m.Clone()
 		}
 		wg.Add(1)
-		go func(w int, rep *SysStateModel) {
+		go func(rep *SysStateModel, lo, hi int) {
 			defer wg.Done()
-			for i := w; i < len(pasts); i += W {
-				out[i] = rep.Predict(pasts[i])
-			}
-		}(w, rep)
+			rep.forecastInto(out[lo:hi], pasts[lo:hi])
+		}(rep, lo, hi)
 	}
 	wg.Wait()
 	return out

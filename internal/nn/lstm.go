@@ -33,6 +33,8 @@ type LSTM struct {
 	gg   []mathx.Vector
 	go_  []mathx.Vector
 	tanc []mathx.Vector // tanh(c_t)
+
+	bat lstmBatch // lockstep-batch scratch arena (lstm_batch.go)
 }
 
 // NewLSTM builds an LSTM layer. The forget-gate bias is initialized to 1,
@@ -51,17 +53,10 @@ func NewLSTM(in, hidden int, rng *randutil.Source) *LSTM {
 	return l
 }
 
-// sigmoidClamp bounds the pre-activation fed to the logistic function.
-// Beyond ±36.7 the output already saturates to exactly 0 or 1 in float64;
-// clamping there keeps math.Exp out of its overflow region, so extreme
-// logits (diverging training, corrupt inputs) can never produce an Inf
-// intermediate.
-const sigmoidClamp = 40
-
-func sigmoid(x float64) float64 {
-	x = mathx.Clamp(x, -sigmoidClamp, sigmoidClamp)
-	return 1 / (1 + math.Exp(-x))
-}
+// sigmoid is the clamped logistic function (see mathx.Sigmoid for the
+// clamp rationale); sharing one implementation keeps the sequential and
+// batched gate kernels bit-identical.
+func sigmoid(x float64) float64 { return mathx.Sigmoid(x) }
 
 // ForwardSeq runs the layer over a sequence (oldest first) and returns the
 // hidden state at every step.
@@ -181,6 +176,7 @@ func (l *LSTM) Params() []*Param { return []*Param{l.w, l.b} }
 type SeqEncoder struct {
 	Layers []*LSTM
 	lastT  int
+	bdhs   []*mathx.Matrix // batched backward gradient scaffold, reused
 }
 
 // NewSeqEncoder builds a stack of depth LSTM layers, the first consuming

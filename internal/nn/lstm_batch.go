@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"adrias/internal/mathx"
+)
+
+// Lockstep-batched LSTM: B sequences advance together, so each timestep
+// costs one [B×(I+H)]·[4H×(I+H)]ᵀ GEMM instead of B GEMVs, and the whole
+// sequence reuses one preallocated arena keyed by (B, T).
+//
+// Bit-identity: every per-sample quantity — hidden states, cell states,
+// gate activations, input gradients — is computed by a verbatim port of
+// the sequential kernels over row b only, so row b of every batched result
+// equals ForwardSeq/BackwardSeq on sequence b alone, bit for bit. The one
+// reassociation is the weight/bias gradient sum in BackwardSeqBatch: the
+// sequential path folds in (sample 0: t=T-1..0), (sample 1: t=T-1..0), …,
+// while the lockstep path folds in (t=T-1: samples 0..B-1), (t=T-2: …), ….
+// Each term is bit-identical; only the order of the floating-point sum
+// differs (at B=1 even that coincides). This is the same contract as the
+// trainer's Workers ≥ 2 gradient reduction.
+
+// lstmBatch is the LSTM's lockstep scratch arena.
+type lstmBatch struct {
+	B, T int
+
+	xs   []*mathx.Matrix // per-step input copies [B×I]
+	hs   []*mathx.Matrix // hidden states [B×H], hs[0] initial zeros
+	cs   []*mathx.Matrix // cell states [B×H]
+	gi   []*mathx.Matrix // gate activations per step [B×H]
+	gf   []*mathx.Matrix
+	gg   []*mathx.Matrix
+	go_  []*mathx.Matrix
+	tanc []*mathx.Matrix // tanh(c_t)
+
+	concat *mathx.Matrix // [B×(I+H)]
+	z      *mathx.Matrix // [B×4H]
+
+	dh, dc, dhNext, dcNext *mathx.Matrix   // [B×H]
+	da                     *mathx.Matrix   // [B×4H]
+	dconcat                *mathx.Matrix   // [B×(I+H)]
+	dxs                    []*mathx.Matrix // [B×I]
+}
+
+// ForwardSeqBatch runs B sequences in lockstep: xs[t] holds the step-t
+// input of every sequence, one per row. It returns the hidden state at
+// every step ([B×H] per step, rows aligned with the input rows). The
+// returned matrices are arena-owned: valid until the next batched call on
+// this layer, not to be mutated. Row b of every step is bit-identical to
+// ForwardSeq on sequence b alone.
+func (l *LSTM) ForwardSeqBatch(xs []*mathx.Matrix, _ bool) []*mathx.Matrix {
+	T := len(xs)
+	if T == 0 {
+		panic("nn: LSTM.ForwardSeqBatch on empty sequence")
+	}
+	B := xs[0].Rows
+	H := l.Hidden
+	s := &l.bat
+	s.B, s.T = B, T
+	s.xs = mathx.EnsureMatrices(s.xs, T, B, l.In)
+	s.hs = mathx.EnsureMatrices(s.hs, T+1, B, H)
+	s.cs = mathx.EnsureMatrices(s.cs, T+1, B, H)
+	s.gi = mathx.EnsureMatrices(s.gi, T, B, H)
+	s.gf = mathx.EnsureMatrices(s.gf, T, B, H)
+	s.gg = mathx.EnsureMatrices(s.gg, T, B, H)
+	s.go_ = mathx.EnsureMatrices(s.go_, T, B, H)
+	s.tanc = mathx.EnsureMatrices(s.tanc, T, B, H)
+	s.concat = mathx.EnsureMatrix(s.concat, B, l.In+H)
+	s.z = mathx.EnsureMatrix(s.z, B, 4*H)
+	s.hs[0].Zero()
+	s.cs[0].Zero()
+
+	bias := l.b.W.Row(0)
+	for t := 0; t < T; t++ {
+		X := xs[t]
+		if X.Rows != B || X.Cols != l.In {
+			panic(fmt.Sprintf("nn: LSTM expects [%d×%d] inputs, got [%d×%d] at step %d",
+				B, l.In, X.Rows, X.Cols, t))
+		}
+		s.xs[t].CopyFrom(X)
+		for b := 0; b < B; b++ {
+			crow := s.concat.Row(b)
+			copy(crow[:l.In], X.Row(b))
+			copy(crow[l.In:], s.hs[t].Row(b))
+		}
+		mathx.MulNT(s.z, s.concat, l.w.W) // Z = concat·Wᵀ: MulVec per row
+		s.z.AddRowBias(bias)
+		for b := 0; b < B; b++ {
+			z := s.z.Row(b)
+			i, f, g, o := s.gi[t].Row(b), s.gf[t].Row(b), s.gg[t].Row(b), s.go_[t].Row(b)
+			cPrev, c := s.cs[t].Row(b), s.cs[t+1].Row(b)
+			h, tc := s.hs[t+1].Row(b), s.tanc[t].Row(b)
+			for j := 0; j < H; j++ {
+				i[j] = sigmoid(z[j])
+				f[j] = sigmoid(z[H+j])
+				g[j] = math.Tanh(z[2*H+j])
+				o[j] = sigmoid(z[3*H+j])
+				c[j] = f[j]*cPrev[j] + i[j]*g[j]
+				tc[j] = math.Tanh(c[j])
+				h[j] = o[j] * tc[j]
+			}
+		}
+	}
+	return s.hs[1:]
+}
+
+// BackwardSeqBatch backpropagates per-step batched hidden-state gradients
+// (index-aligned with the ForwardSeqBatch output; entries may be nil for
+// steps with no gradient) and returns the gradient with respect to each
+// step's input, arena-owned. Input gradients are bit-identical per sample
+// to BackwardSeq; weight gradients sum the identical per-(sample, step)
+// terms in lockstep order (see the file comment).
+func (l *LSTM) BackwardSeqBatch(dhs []*mathx.Matrix) []*mathx.Matrix {
+	s := &l.bat
+	if s.T == 0 {
+		panic("nn: LSTM.BackwardSeqBatch before ForwardSeqBatch")
+	}
+	B, T, H := s.B, s.T, l.Hidden
+	if len(dhs) != T {
+		panic(fmt.Sprintf("nn: LSTM gradient length %d, want %d", len(dhs), T))
+	}
+	s.dh = mathx.EnsureMatrix(s.dh, B, H)
+	s.dc = mathx.EnsureMatrix(s.dc, B, H)
+	s.dhNext = mathx.EnsureMatrix(s.dhNext, B, H)
+	s.dcNext = mathx.EnsureMatrix(s.dcNext, B, H)
+	s.da = mathx.EnsureMatrix(s.da, B, 4*H)
+	s.dconcat = mathx.EnsureMatrix(s.dconcat, B, l.In+H)
+	s.dxs = mathx.EnsureMatrices(s.dxs, T, B, l.In)
+	s.dhNext.Zero()
+	s.dcNext.Zero()
+
+	for t := T - 1; t >= 0; t-- {
+		s.dh.CopyFrom(s.dhNext)
+		if dhs[t] != nil {
+			s.dh.Add(dhs[t])
+		}
+		s.dc.CopyFrom(s.dcNext)
+		for b := 0; b < B; b++ {
+			dh, dc, da := s.dh.Row(b), s.dc.Row(b), s.da.Row(b)
+			i, f, g, o := s.gi[t].Row(b), s.gf[t].Row(b), s.gg[t].Row(b), s.go_[t].Row(b)
+			tc, cPrev := s.tanc[t].Row(b), s.cs[t].Row(b)
+			for j := 0; j < H; j++ {
+				dc[j] += dh[j] * o[j] * (1 - tc[j]*tc[j])
+				do := dh[j] * tc[j]
+				di := dc[j] * g[j]
+				df := dc[j] * cPrev[j]
+				dg := dc[j] * i[j]
+				da[j] = di * i[j] * (1 - i[j])
+				da[H+j] = df * f[j] * (1 - f[j])
+				da[2*H+j] = dg * (1 - g[j]*g[j])
+				da[3*H+j] = do * o[j] * (1 - o[j])
+			}
+			crow := s.concat.Row(b)
+			copy(crow[:l.In], s.xs[t].Row(b))
+			copy(crow[l.In:], s.hs[t].Row(b))
+		}
+		mathx.AddMulTN(l.w.G, 1, s.da, s.concat) // sample-ordered AddOuter
+		mathx.AccumRows(l.b.G.Row(0), s.da)
+		mathx.MulNN(s.dconcat, s.da, l.w.W) // MulVecT per row
+		for b := 0; b < B; b++ {
+			crow := s.dconcat.Row(b)
+			copy(s.dxs[t].Row(b), crow[:l.In])
+			copy(s.dhNext.Row(b), crow[l.In:])
+			dcN, dc, f := s.dcNext.Row(b), s.dc.Row(b), s.gf[t].Row(b)
+			for j := 0; j < H; j++ {
+				dcN[j] = dc[j] * f[j]
+			}
+		}
+	}
+	return s.dxs
+}
+
+// EncodeBatch runs the stack over a lockstep batch (xs[t] is the [B×In]
+// step-t input of every sequence) and returns the top layer's final hidden
+// state, one row per sequence. The result is arena-owned by the top LSTM:
+// valid until its next batched call. Row b is bit-identical to Encode on
+// sequence b alone.
+func (e *SeqEncoder) EncodeBatch(xs []*mathx.Matrix, train bool) *mathx.Matrix {
+	e.lastT = len(xs)
+	for _, l := range e.Layers {
+		xs = l.ForwardSeqBatch(xs, train)
+	}
+	return xs[len(xs)-1]
+}
+
+// BackwardFromLastBatch backpropagates a batched gradient on the final
+// hidden state (rows = sequences) through the stack, accumulating weight
+// gradients. The gradient with respect to the inputs is discarded, as in
+// BackwardFromLast.
+func (e *SeqEncoder) BackwardFromLastBatch(dLast *mathx.Matrix) {
+	if cap(e.bdhs) < e.lastT {
+		e.bdhs = make([]*mathx.Matrix, e.lastT)
+	}
+	e.bdhs = e.bdhs[:e.lastT]
+	for i := range e.bdhs {
+		e.bdhs[i] = nil
+	}
+	e.bdhs[e.lastT-1] = dLast
+	dhs := e.bdhs
+	for i := len(e.Layers) - 1; i >= 0; i-- {
+		dhs = e.Layers[i].BackwardSeqBatch(dhs)
+	}
+}

@@ -5,12 +5,17 @@
 //
 // The library trades generality for clarity: there is no autodiff graph.
 // Each layer implements an explicit Forward/Backward pair and caches the
-// activations of the most recent forward pass, so a layer instance handles
-// one sample at a time (the trainer accumulates gradients across a
-// minibatch before stepping). Layers are not safe for concurrent use;
-// every layer supports Clone, and the Trainer uses per-goroutine clones to
-// shard minibatches across a worker pool with a deterministic, ordered
-// gradient reduction (see trainer.go).
+// activations of the most recent forward pass. Two execution modes share
+// the same parameters: the vector path processes one sample per call, and
+// the batched path (ForwardBatch/BackwardBatch, ForwardSeqBatch for LSTMs)
+// processes a whole minibatch as the rows of a matrix — one GEMM per layer
+// (per timestep, for LSTMs) instead of one GEMV per sample, with scratch
+// arenas keyed by batch size so steady-state inference is allocation-free
+// and per-sample results bit-identical to the vector path (batch.go).
+// Layers are still not safe for concurrent use; every layer supports
+// Clone, and the Trainer uses per-goroutine clones to shard minibatches
+// across a worker pool with a deterministic, ordered gradient reduction
+// (see trainer.go).
 package nn
 
 import (
@@ -52,7 +57,7 @@ func glorotInit(w *mathx.Matrix, fanIn, fanOut int, rng *randutil.Source) {
 	}
 }
 
-// Layer is a vector-to-vector layer.
+// Layer is a vector-to-vector layer with a minibatch-matrix fast path.
 type Layer interface {
 	// Forward maps x to the layer output. train enables training-time
 	// behavior (dropout masks, batch-norm statistics updates).
@@ -60,6 +65,20 @@ type Layer interface {
 	// Backward maps the loss gradient at the output to the gradient at the
 	// input, accumulating parameter gradients. Must follow a Forward call.
 	Backward(dy mathx.Vector) mathx.Vector
+	// ForwardBatch is the minibatch counterpart of Forward: row b of X is
+	// sample b, and row b of the output is bit-identical to Forward on that
+	// sample (see batch.go for the exact contract, including how Dropout
+	// orders its mask stream). The returned matrix is owned by the layer's
+	// scratch arena: it stays valid until the next batched call on this
+	// layer and must not be mutated. Steady-state calls at a fixed batch
+	// size do not allocate.
+	ForwardBatch(X *mathx.Matrix, train bool) *mathx.Matrix
+	// BackwardBatch maps batched output gradients (rows = samples) to
+	// batched input gradients, accumulating parameter gradients in sample
+	// order — bit-identical to per-sample Backward calls in row order. Must
+	// follow a ForwardBatch call with the same batch size. The returned
+	// matrix is arena-owned like ForwardBatch's.
+	BackwardBatch(dY *mathx.Matrix) *mathx.Matrix
 	// Params returns the layer's trainable parameters (possibly empty).
 	Params() []*Param
 	// Clone returns a deep, independent copy: equal weights, zeroed
@@ -74,6 +93,7 @@ type Dense struct {
 	In, Out int
 	w, b    *Param
 	x       mathx.Vector // cached input
+	bat     denseBatch   // batched-path scratch arena (batch.go)
 }
 
 // NewDense builds a Dense layer with Glorot-initialized weights.
@@ -117,6 +137,7 @@ func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
 // ReLU is the rectified linear activation.
 type ReLU struct {
 	mask []bool
+	bat  reluBatch
 }
 
 // NewReLU returns a ReLU layer.
@@ -160,6 +181,7 @@ type Dropout struct {
 	Rate float64
 	rng  *randutil.Source
 	mask mathx.Vector
+	bat  dropoutBatch
 }
 
 // NewDropout builds a Dropout layer with drop probability rate in [0, 1).
@@ -218,6 +240,7 @@ type BatchNorm struct {
 	stats    *Param
 	xhat     mathx.Vector
 	stdCache mathx.Vector
+	bat      normBatch
 }
 
 // NewBatchNorm builds a BatchNorm layer for dim features.
@@ -307,6 +330,7 @@ type LayerNorm struct {
 	x    mathx.Vector
 	xhat mathx.Vector
 	std  float64
+	bat  normBatch
 }
 
 // NewLayerNorm builds a LayerNorm for dim features.

@@ -36,10 +36,12 @@ type Trainer struct {
 }
 
 // trainReplica is one worker's model copy: its parameter set (index-aligned
-// with the master's) and the per-sample forward/backward step driving it.
+// with the master's) and either a per-sample forward/backward step or a
+// batched step that consumes its whole shard at once (exactly one is set).
 type trainReplica struct {
 	params []*Param
 	step   func(sample int) (float64, error)
+	batch  func(shard []int) (float64, error)
 }
 
 // NewTrainer builds a Trainer for the given master parameters. Register at
@@ -59,6 +61,23 @@ func (t *Trainer) AddReplica(params []*Param, step func(sample int) (float64, er
 		panic(fmt.Sprintf("nn: replica has %d params, master %d", len(params), len(t.master)))
 	}
 	t.replicas = append(t.replicas, trainReplica{params: params, step: step})
+}
+
+// AddBatchReplica registers a worker's model copy driven in batched-step
+// mode: step receives the replica's whole shard of sample indices per
+// minibatch and must run one batched forward/backward over it, accumulating
+// gradients into params and returning the summed per-sample loss. Models
+// whose layers implement the batched path use this to turn a shard into one
+// GEMM pipeline instead of per-sample GEMVs. Feedforward nets accumulate
+// batched gradients in sample order (bit-identical to AddReplica); nets
+// with LSTM encoders reassociate the weight-gradient sum across samples
+// within each timestep — the same reproducibility caveat as using two or
+// more workers.
+func (t *Trainer) AddBatchReplica(params []*Param, step func(shard []int) (float64, error)) {
+	if len(params) != len(t.master) {
+		panic(fmt.Sprintf("nn: replica has %d params, master %d", len(params), len(t.master)))
+	}
+	t.replicas = append(t.replicas, trainReplica{params: params, batch: step})
 }
 
 // Workers returns the number of registered replicas.
@@ -100,6 +119,9 @@ func (t *Trainer) runChunk(chunk []int) (float64, error) {
 	if len(t.replicas) == 1 {
 		// Sequential fast path: gradients go straight into the (aliased)
 		// master parameters, exactly as a hand-written loop would.
+		if t.replicas[0].batch != nil {
+			return t.replicas[0].batch(chunk)
+		}
 		var total float64
 		for _, s := range chunk {
 			l, err := t.replicas[0].step(s)
@@ -123,6 +145,10 @@ func (t *Trainer) runChunk(chunk []int) (float64, error) {
 		wg.Add(1)
 		go func(w int, shard []int) {
 			defer wg.Done()
+			if t.replicas[w].batch != nil {
+				losses[w], errs[w] = t.replicas[w].batch(shard)
+				return
+			}
 			for _, s := range shard {
 				l, err := t.replicas[w].step(s)
 				if err != nil {

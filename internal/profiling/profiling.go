@@ -1,0 +1,54 @@
+// Package profiling wires the standard pprof collectors into command-line
+// flags so kernel work (the batched GEMM paths, the LSTM lockstep loops) is
+// profilable on any run without code edits: `adrias-train -cpuprofile
+// cpu.out -memprofile mem.out`, then `go tool pprof`.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and arranges for
+// a heap profile to be written to memPath (when non-empty). It returns a
+// stop function that must run before the process exits — commands call it
+// via defer from a helper that returns an exit code rather than calling
+// os.Exit directly, so the profiles survive every exit path. Start is safe
+// to call with both paths empty; the returned stop is then a no-op.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err = pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: close cpu profile: %v\n", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize only live allocations in the heap profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: write heap profile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: close heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}

@@ -3,8 +3,8 @@
 // arriving applications ask the orchestrator for a memory tier before they
 // start. The service accepts concurrent placement requests, coalesces them
 // inside a small batching window, and feeds whole batches through the
-// predictor's clone-parallel batch inference (one Ŝ forecast and one model
-// call per class instead of up to three inferences per request).
+// predictor's lockstep-batched inference (one Ŝ forecast and one batched
+// model call per class instead of up to three inferences per request).
 //
 // The admission pipeline is:
 //

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# benchdiff.sh old.txt new.txt — benchstat-style comparison of two
+# `go test -bench` outputs. For every benchmark present in both files it
+# prints ns/op (and B/op + allocs/op when reported) side by side with the
+# percent delta; benchmarks present in only one file are listed separately.
+# Purely informational: low-iteration CI runs are noisy, so callers must
+# not gate on the deltas (the CI step runs with continue-on-error).
+set -euo pipefail
+
+old="${1:?usage: benchdiff.sh old.txt new.txt}"
+new="${2:?usage: benchdiff.sh old.txt new.txt}"
+
+awk '
+function record(name,    i) {
+  for (i = 2; i <= NF; i++) {
+    if ($i == "ns/op")     ns[file, name] = $(i - 1)
+    if ($i == "B/op")      bop[file, name] = $(i - 1)
+    if ($i == "allocs/op") al[file, name] = $(i - 1)
+  }
+  if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+  have[file, name] = 1
+}
+function delta(o, v) {
+  if (o == 0) return "n/a"
+  return sprintf("%+.1f%%", (v - o) * 100 / o)
+}
+FNR == 1 { file++ }
+/^Benchmark/ { record($1) }
+END {
+  printf "%-48s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+  for (i = 1; i <= n; i++) {
+    name = order[i]
+    if (have[1, name] && have[2, name]) {
+      printf "%-48s %14s %14s %9s\n", name, ns[1, name], ns[2, name], delta(ns[1, name], ns[2, name])
+      if ((1, name) in al || (2, name) in al)
+        printf "%-48s %11s B/op %11s B/op  (allocs %s -> %s)\n", "", bop[1, name], bop[2, name], al[1, name], al[2, name]
+    }
+  }
+  for (i = 1; i <= n; i++) {
+    name = order[i]
+    if (have[1, name] && !have[2, name]) printf "%-48s only in old run\n", name
+    if (!have[1, name] && have[2, name]) printf "%-48s only in new run\n", name
+  }
+}' "$old" "$new"
