@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet serve-smoke ci
+.PHONY: build test race bench fmt vet serve-smoke trace-overhead ci
 
 build:
 	$(GO) build ./...
@@ -29,8 +29,14 @@ vet:
 	$(GO) vet ./...
 
 ## serve-smoke: end-to-end smoke of the placement service (adrias-serve +
-## load generator): train fast models, serve, 100 requests, clean drain.
+## load generator): train fast models, serve, 100 requests, observability
+## scrapes (/metrics, /debug/traces, /debug/decisions, pprof), clean drain.
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-ci: build fmt vet test race bench serve-smoke
+## trace-overhead: gate span recording on the batch-8 placement path at
+## ≤ MAX_OVERHEAD_PCT (default 5) percent over the untraced baseline.
+trace-overhead:
+	./scripts/trace_overhead.sh
+
+ci: build fmt vet test race bench serve-smoke trace-overhead

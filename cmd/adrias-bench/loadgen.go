@@ -15,13 +15,14 @@ import (
 
 // loadGenOpts configures the adrias-serve load generator (-target mode).
 type loadGenOpts struct {
-	target     string
-	n          int
-	conc       int
-	rate       float64 // requests/s across all workers; 0 = closed loop
-	apps       []string
-	dryRun     bool
-	deadlineMs float64
+	target        string
+	n             int
+	conc          int
+	rate          float64 // requests/s across all workers; 0 = closed loop
+	apps          []string
+	dryRun        bool
+	deadlineMs    float64
+	dumpDecisions bool // fetch /debug/decisions after the run
 }
 
 type loadGenStats struct {
@@ -155,5 +156,55 @@ func runLoadGen(o loadGenOpts) int {
 		fmt.Fprintf(os.Stderr, "%d request(s) failed\n", bad)
 		return 1
 	}
+	if o.dumpDecisions {
+		if err := dumpDecisions(client, base); err != nil {
+			fmt.Fprintf(os.Stderr, "dump decisions: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// dumpDecisions fetches the server's placement audit log and prints one
+// line per retained decision — the operator's "why did this app land
+// there?" read-out after a load run.
+func dumpDecisions(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/debug/decisions")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /debug/decisions: %s", resp.Status)
+	}
+	var payload struct {
+		Total     uint64 `json:"total_decisions"`
+		Retained  int    `json:"retained"`
+		Decisions []struct {
+			TraceID     string  `json:"trace_id"`
+			App         string  `json:"app"`
+			Class       string  `json:"class"`
+			Tier        string  `json:"tier"`
+			PredLocalS  float64 `json:"pred_local_s"`
+			PredRemoteS float64 `json:"pred_remote_s"`
+			Beta        float64 `json:"beta"`
+			QoSMs       float64 `json:"qos_ms"`
+			Reason      string  `json:"reason"`
+		} `json:"decisions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return err
+	}
+	fmt.Printf("\ndecision audit log: %d total, %d retained\n", payload.Total, payload.Retained)
+	for _, d := range payload.Decisions {
+		fmt.Printf("  %-14s %-10s %-6s → %-6s %-13s", d.TraceID, d.App, d.Class, d.Tier, d.Reason)
+		if d.PredLocalS > 0 || d.PredRemoteS > 0 {
+			fmt.Printf("  t̂_local %.2f  t̂_remote %.2f  β %.2f", d.PredLocalS, d.PredRemoteS, d.Beta)
+		}
+		if d.QoSMs > 0 {
+			fmt.Printf("  qos %.1fms", d.QoSMs)
+		}
+		fmt.Println()
+	}
+	return nil
 }

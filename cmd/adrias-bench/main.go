@@ -9,6 +9,7 @@
 //	             [-cpuprofile file] [-memprofile file]
 //	adrias-bench -target http://127.0.0.1:7700 [-n 200] [-conc 8]
 //	             [-rate 0] [-apps gmm,redis,...] [-dry-run] [-deadline-ms 0]
+//	             [-dump-decisions]
 package main
 
 import (
@@ -40,6 +41,7 @@ func run() int {
 	appsFlag := flag.String("apps", "gmm,pagerank,redis,kmeans,wordcount", "load generator: comma-separated application mix")
 	dryRunFlag := flag.Bool("dry-run", true, "load generator: decide without deploying on the testbed")
 	deadlineFlag := flag.Float64("deadline-ms", 0, "load generator: per-request deadline, ms (0: server default)")
+	dumpDecisionsFlag := flag.Bool("dump-decisions", false, "load generator: print the server's /debug/decisions audit log after the run")
 	cpuprofileFlag := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofileFlag := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -61,6 +63,7 @@ func run() int {
 		return runLoadGen(loadGenOpts{
 			target: *targetFlag, n: *nFlag, conc: *concFlag, rate: *rateFlag,
 			apps: apps, dryRun: *dryRunFlag, deadlineMs: *deadlineFlag,
+			dumpDecisions: *dumpDecisionsFlag,
 		})
 	}
 

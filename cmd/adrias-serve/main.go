@@ -3,19 +3,26 @@
 // of internal/serve, backed by a trained predictor and a live simulated
 // testbed that keeps advancing (with ambient load) while the server runs.
 //
-//	POST /v1/place  {"app":"gmm","dry_run":false,"deadline_ms":250}
+//	POST /v1/place        {"app":"gmm","dry_run":false,"deadline_ms":250}
 //	GET  /healthz
-//	GET  /metrics   (Prometheus text exposition)
+//	GET  /metrics         (Prometheus text exposition: serve, bus, models,
+//	                       thymesis and Go runtime series)
+//	GET  /debug/traces    (request traces with per-stage spans + percentiles)
+//	GET  /debug/decisions (placement audit log: predictions, β, QoS, reason)
 //
 // Usage:
 //
 //	adrias-serve [-listen 127.0.0.1:7700] [-models dir] [-beta 0.8]
 //	             [-batch-window 2ms] [-max-batch 64] [-queue 256]
 //	             [-timeout 2s] [-tick 1s] [-sim-per-tick 1] [-ambient 0.08]
-//	             [-drain 10s] [-seed 1]
+//	             [-drain 10s] [-seed 1] [-debug-addr 127.0.0.1:7701]
+//	             [-bus-addr 127.0.0.1:7601]
 //
 // Without -models the fast offline phase trains a small model set first
-// (≈10 s). SIGINT/SIGTERM stops intake, drains admitted requests, and exits.
+// (≈10 s). -debug-addr opens a second listener with the pprof surface
+// (/debug/pprof/). -bus-addr serves the in-process event bus over TCP so
+// external subscribers can follow decisions and monitoring samples live.
+// SIGINT/SIGTERM stops intake, drains admitted requests, and exits.
 package main
 
 import (
@@ -31,6 +38,9 @@ import (
 	"time"
 
 	"adrias"
+	"adrias/internal/bus"
+	"adrias/internal/models"
+	"adrias/internal/profiling"
 	"adrias/internal/serve"
 )
 
@@ -48,6 +58,8 @@ func main() {
 	ambient := flag.Float64("ambient", 0.08, "ambient arrivals per simulated second")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-drain budget on shutdown")
 	seed := flag.Int64("seed", 1, "testbed and ambient-load seed")
+	debugAddr := flag.String("debug-addr", "", "pprof listen address (empty: disabled)")
+	busAddr := flag.String("bus-addr", "", "TCP bus listen address for live decision/sample subscribers (empty: in-process only)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -93,11 +105,15 @@ func main() {
 		fmt.Printf("trained in %.1fs\n", time.Since(start).Seconds())
 	}
 
+	// Every decision and monitoring sample is published on an in-process
+	// bus; -bus-addr additionally serves it over TCP for live subscribers.
+	events := bus.New()
 	eng := serve.NewSystemEngine(sys.Pred, sys.Watch, sys.Registry, serve.EngineConfig{
 		Beta:        *beta,
 		QoSFactor:   *qosFactor,
 		AmbientRate: *ambient,
 		Seed:        *seed,
+		Bus:         events,
 	})
 	svc := serve.NewService(eng, serve.Config{
 		BatchWindow:    *batchWindow,
@@ -106,6 +122,36 @@ func main() {
 		DefaultTimeout: *timeout,
 	})
 	eng.RegisterMetrics(svc.Metrics())
+	// One registry feeds /metrics: serve + runtime series are pre-registered
+	// by the service; add the testbed fabric, the bus, and model inference.
+	tel := svc.Telemetry()
+	eng.RegisterObs(tel)
+	events.RegisterMetrics(tel.Registry)
+	models.RegisterMetrics(tel.Registry)
+
+	if *busAddr != "" {
+		busSrv, err := bus.NewServer(events, *busAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer busSrv.Close()
+		fmt.Printf("event bus on tcp://%s (topics orchestrator.decisions, watcher.samples)\n", busSrv.Addr())
+	}
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		go func() {
+			if err := http.Serve(dln, profiling.DebugHandler()); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(os.Stderr, "debug listener: %v\n", err)
+			}
+		}()
+		defer dln.Close()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", dln.Addr())
+	}
 
 	httpSrv := &http.Server{Addr: *listen, Handler: serve.NewHandler(svc, eng)}
 	ln, err := net.Listen("tcp", *listen)
@@ -113,7 +159,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("placement service on http://%s (POST /v1/place, /healthz, /metrics)\n",
+	fmt.Printf("placement service on http://%s (POST /v1/place, /healthz, /metrics, /debug/traces, /debug/decisions)\n",
 		ln.Addr())
 
 	// Advance the testbed against the wall clock until shutdown.

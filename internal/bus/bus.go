@@ -9,7 +9,12 @@ package bus
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
+	"sync/atomic"
+
+	"adrias/internal/obs"
 )
 
 // Message is one published datum.
@@ -25,18 +30,29 @@ func (m Message) Decode(v any) error { return json.Unmarshal(m.Payload, v) }
 // with New. Safe for concurrent use.
 type Bus struct {
 	mu     sync.RWMutex
-	subs   map[string]map[int]chan Message
+	subs   map[string]map[int]*subscriber
 	nextID int
 	closed bool
 	// Buffer is the per-subscriber channel depth; publishes to a full
 	// subscriber are dropped rather than blocking the publisher (monitoring
 	// data is perishable). Set before the first Subscribe.
 	Buffer int
+
+	published atomic.Uint64 // Publish calls that reached the delivery loop
+	dropped   atomic.Uint64 // deliveries lost to full subscriber buffers
+}
+
+// subscriber is one delivery channel plus its drop-warning latch: the first
+// message lost to a full buffer logs one structured warning, later losses
+// only count.
+type subscriber struct {
+	ch     chan Message
+	warned atomic.Bool
 }
 
 // New returns an empty bus with the default buffer depth.
 func New() *Bus {
-	return &Bus{subs: make(map[string]map[int]chan Message), Buffer: 64}
+	return &Bus{subs: make(map[string]map[int]*subscriber), Buffer: 64}
 }
 
 // Subscribe registers interest in a topic and returns the delivery channel
@@ -51,12 +67,12 @@ func (b *Bus) Subscribe(topic string) (<-chan Message, func()) {
 		return ch, func() {}
 	}
 	if b.subs[topic] == nil {
-		b.subs[topic] = make(map[int]chan Message)
+		b.subs[topic] = make(map[int]*subscriber)
 	}
 	id := b.nextID
 	b.nextID++
-	ch := make(chan Message, b.Buffer)
-	b.subs[topic][id] = ch
+	sub := &subscriber{ch: make(chan Message, b.Buffer)}
+	b.subs[topic][id] = sub
 
 	var once sync.Once
 	cancel := func() {
@@ -64,14 +80,14 @@ func (b *Bus) Subscribe(topic string) (<-chan Message, func()) {
 			b.mu.Lock()
 			defer b.mu.Unlock()
 			if m := b.subs[topic]; m != nil {
-				if c, ok := m[id]; ok {
+				if s, ok := m[id]; ok {
 					delete(m, id)
-					close(c)
+					close(s.ch)
 				}
 			}
 		})
 	}
-	return ch, cancel
+	return sub.ch, cancel
 }
 
 // Publish JSON-encodes payload and delivers it to every subscriber of the
@@ -89,15 +105,38 @@ func (b *Bus) Publish(topic string, payload any) (int, error) {
 	if b.closed {
 		return 0, fmt.Errorf("bus: publish on closed bus")
 	}
+	b.published.Add(1)
 	delivered := 0
-	for _, ch := range b.subs[topic] {
+	for id, sub := range b.subs[topic] {
 		select {
-		case ch <- msg:
+		case sub.ch <- msg:
 			delivered++
 		default:
+			b.dropped.Add(1)
+			if sub.warned.CompareAndSwap(false, true) {
+				slog.Warn("bus: dropping messages to slow subscriber",
+					"topic", topic, "subscriber", id, "buffer", cap(sub.ch))
+			}
 		}
 	}
 	return delivered, nil
+}
+
+// Published returns the number of Publish calls that reached delivery.
+func (b *Bus) Published() uint64 { return b.published.Load() }
+
+// Dropped returns the number of deliveries lost to full subscriber buffers
+// (in-process) or to disconnected slow TCP clients.
+func (b *Bus) Dropped() uint64 { return b.dropped.Load() }
+
+// RegisterMetrics publishes the bus counters on the registry.
+func (b *Bus) RegisterMetrics(r *obs.Registry) {
+	r.MustRegister("adrias_bus", obs.CollectorFunc(func(w io.Writer) {
+		obs.WriteCounter(w, "adrias_bus_published_total",
+			"Messages published on the bus.", b.published.Load())
+		obs.WriteCounter(w, "adrias_bus_dropped_total",
+			"Deliveries lost to slow subscribers.", b.dropped.Load())
+	}))
 }
 
 // Close shuts the bus down, closing all subscriber channels.
@@ -109,9 +148,9 @@ func (b *Bus) Close() {
 	}
 	b.closed = true
 	for _, m := range b.subs {
-		for id, ch := range m {
+		for id, s := range m {
 			delete(m, id)
-			close(ch)
+			close(s.ch)
 		}
 	}
 }

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"adrias/internal/obs"
 )
 
 // TestConcurrentPublishersStalledSubscriber: several publishers hammer one
@@ -70,6 +72,28 @@ func TestConcurrentPublishersStalledSubscriber(t *testing.T) {
 	if received.Load() == before {
 		t.Error("healthy subscriber stopped receiving after the stalled one filled")
 	}
+
+	// Drop accounting: publishes were counted once each, and at least
+	// everything past the stalled subscriber's buffer was counted as
+	// dropped (the healthy reader may lag and add more).
+	total := uint64(publishers*perPublisher + 1)
+	if got := b.Published(); got != total {
+		t.Errorf("published = %d, want %d", got, total)
+	}
+	if min := total - uint64(b.Buffer); b.Dropped() < min {
+		t.Errorf("dropped = %d, want ≥ %d (everything past the stalled buffer)", b.Dropped(), min)
+	}
+
+	// The counters surface on a metric registry scrape.
+	reg := obs.NewRegistry()
+	b.RegisterMetrics(reg)
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	for _, want := range []string{"adrias_bus_published_total", "adrias_bus_dropped_total"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("scrape missing %q:\n%s", want, sb.String())
+		}
+	}
 }
 
 // rawSubscribe opens a bare TCP connection that subscribes to a topic and
@@ -96,7 +120,10 @@ func TestTCPSlowClientDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	srv.SetWriteTimeout(200 * time.Millisecond)
+	// Long enough that a healthy-but-starved reader survives a loaded CI
+	// box (parallel -race packages), short enough that the never-reading
+	// client is dropped well inside the 10 s publish window below.
+	srv.SetWriteTimeout(time.Second)
 
 	slow := rawSubscribe(t, srv.Addr(), "big")
 	defer slow.Close()
@@ -164,5 +191,10 @@ func TestTCPSlowClientDropped(t *testing.T) {
 	}
 	if healthyGot.Load() == before {
 		t.Error("healthy client stopped receiving after the slow client was dropped")
+	}
+
+	// The disconnect was counted as a drop.
+	if b.Dropped() == 0 {
+		t.Error("slow TCP disconnect not counted in Dropped()")
 	}
 }

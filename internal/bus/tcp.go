@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -172,6 +173,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}()
 
+	// One warning per connection, shared by every topic pump: the first
+	// failed forward logs it, the rest only count.
+	var warnOnce sync.Once
+
 	r := bufio.NewReader(conn)
 	for {
 		var cf controlFrame
@@ -186,15 +191,21 @@ func (s *Server) serveConn(conn net.Conn) {
 			ch, cancel := s.bus.Subscribe(cf.Topic)
 			cancels[cf.Topic] = cancel
 			pumps.Add(1)
-			go func() {
+			go func(topic string) {
 				defer pumps.Done()
 				for m := range ch {
 					if err := send(m); err != nil {
+						s.bus.dropped.Add(1)
+						warnOnce.Do(func() {
+							slog.Warn("bus: disconnecting slow TCP subscriber",
+								"remote", conn.RemoteAddr().String(),
+								"topic", topic, "err", err)
+						})
 						conn.Close()
 						return
 					}
 				}
-			}()
+			}(cf.Topic)
 		case "unsub":
 			if cancel, ok := cancels[cf.Topic]; ok {
 				cancel()

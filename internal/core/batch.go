@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"adrias/internal/cluster"
 	"adrias/internal/mathx"
 	"adrias/internal/memsys"
 	"adrias/internal/models"
+	"adrias/internal/obs"
 	"adrias/internal/workload"
 )
 
@@ -27,7 +29,11 @@ type PerfQuery struct {
 // inferences, and repeated inputs (the shared window, each app's
 // signature asked for both tiers) are encoded once. Results and errors are per-query; a failing query (e.g. an
 // app with no signature) does not abort the others.
-func (p *Predictor) PredictPerfBatch(queries []PerfQuery, window []mathx.Vector) (mathx.Vector, []error) {
+//
+// When ctx carries an obs.SpanRecorder, the Ŝ forecast and the performance
+// inference are recorded as the "sysstate_predict" and "perf_predict"
+// stages; without one the instrumentation is a no-op.
+func (p *Predictor) PredictPerfBatch(ctx context.Context, queries []PerfQuery, window []mathx.Vector) (mathx.Vector, []error) {
 	preds := mathx.NewVector(len(queries))
 	errs := make([]error, len(queries))
 	if len(queries) == 0 {
@@ -40,7 +46,9 @@ func (p *Predictor) PredictPerfBatch(queries []PerfQuery, window []mathx.Vector)
 		}
 		return preds, errs
 	}
+	endSys := obs.StartSpan(ctx, "sysstate_predict")
 	fut := p.Sys.Predict(window)
+	endSys()
 
 	var beSamples, lcSamples []models.PerfSample
 	var beIdx, lcIdx []int
@@ -79,8 +87,10 @@ func (p *Predictor) PredictPerfBatch(queries []PerfQuery, window []mathx.Vector)
 			preds[i], errs[i] = ps[k], es[k]
 		}
 	}
+	endPerf := obs.StartSpan(ctx, "perf_predict")
 	scatter(p.BE, beSamples, beIdx, ClassBE)
 	scatter(p.LC, lcSamples, lcIdx, ClassLC)
+	endPerf()
 	return preds, errs
 }
 
@@ -92,8 +102,13 @@ func (p *Predictor) PredictPerfBatch(queries []PerfQuery, window []mathx.Vector)
 // evaluated against the pool state at decision time for every profile, so
 // a batch whose combined footprint overflows a pool relies on the
 // cluster's deploy-time fallback, exactly as racing single decisions
-// would. Decisions are recorded in order.
-func (o *Orchestrator) DecideBatch(profiles []*workload.Profile, c *cluster.Cluster) []memsys.Tier {
+// would. Decisions are recorded in order, each carrying the Reason that
+// produced its tier.
+//
+// ctx carries the observability plumbing: an obs.SpanRecorder (when
+// present) receives the "signature_lookup", model-prediction and "decide"
+// stage spans.
+func (o *Orchestrator) DecideBatch(ctx context.Context, profiles []*workload.Profile, c *cluster.Cluster) []memsys.Tier {
 	n := len(profiles)
 	tiers := make([]memsys.Tier, n)
 	ds := make([]Decision, n)
@@ -101,6 +116,7 @@ func (o *Orchestrator) DecideBatch(profiles []*workload.Profile, c *cluster.Clus
 
 	// Assemble the prediction queries for warm apps with enough history:
 	// BE asks local+remote, LC asks remote only.
+	endSig := obs.StartSpan(ctx, "signature_lookup")
 	var queries []PerfQuery
 	qStart := make([]int, n) // index of profile i's first query, -1 when none
 	for i, p := range profiles {
@@ -122,44 +138,57 @@ func (o *Orchestrator) DecideBatch(profiles []*workload.Profile, c *cluster.Clus
 				PerfQuery{Name: p.Name, Class: ClassBE, Tier: memsys.TierRemote})
 		}
 	}
+	endSig()
 	var preds mathx.Vector
 	var errs []error
 	if len(queries) > 0 {
-		preds, errs = o.Pred.PredictPerfBatch(queries, window)
+		preds, errs = o.Pred.PredictPerfBatch(ctx, queries, window)
 	}
 
+	endDecide := obs.StartSpan(ctx, "decide")
 	for i, p := range profiles {
 		d := &ds[i]
 		switch {
 		case d.ColdStart:
 			// Cold start: unknown signature → deploy remote, capture metrics.
 			d.Tier = memsys.TierRemote
+			d.Reason = ReasonColdStart
 			if !c.CanFit(p, memsys.TierRemote) {
 				d.Tier = memsys.TierLocal
 				d.Fallback = true
+				d.Reason = ReasonCapacity
 			}
 		case qStart[i] < 0:
 			// Not enough monitoring history yet: default to the safe tier.
 			d.Tier = memsys.TierLocal
 			d.Fallback = true
+			d.Reason = ReasonNoHistory
 		case p.Class == workload.LatencyCritical:
 			q := qStart[i]
 			if errs[q] != nil {
 				d.Tier = memsys.TierLocal
 				d.Fallback = true
+				d.Reason = ReasonPredictError
 			} else {
 				d.PredRem = preds[q]
 				qos, ok := o.QoSMs[p.Name]
 				d.Tier = DecideLC(qos, ok, preds[q])
+				if ok {
+					d.Reason = ReasonLCQoS
+				} else {
+					d.Reason = ReasonLCNoQoS
+				}
 			}
 		default: // best-effort
 			q := qStart[i]
 			if errs[q] != nil || errs[q+1] != nil {
 				d.Tier = memsys.TierLocal
 				d.Fallback = true
+				d.Reason = ReasonPredictError
 			} else {
 				d.PredLocal, d.PredRem = preds[q], preds[q+1]
 				d.Tier = DecideBE(o.Beta, preds[q], preds[q+1])
+				d.Reason = ReasonBESlack
 			}
 		}
 		// A remote verdict against a full pool degrades to local (the
@@ -168,9 +197,11 @@ func (o *Orchestrator) DecideBatch(profiles []*workload.Profile, c *cluster.Clus
 		if !d.ColdStart && d.Tier == memsys.TierRemote && !c.CanFit(p, memsys.TierRemote) {
 			d.Tier = memsys.TierLocal
 			d.Fallback = true
+			d.Reason = ReasonCapacity
 		}
 		tiers[i] = d.Tier
 	}
+	endDecide()
 	o.Decisions = append(o.Decisions, ds...)
 	return tiers
 }

@@ -1,11 +1,31 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"adrias/internal/cluster"
 	"adrias/internal/memsys"
 	"adrias/internal/workload"
+)
+
+// Decision reasons: which rule produced the tier. Recorded on every
+// Decision and surfaced through the audit log (/debug/decisions).
+const (
+	// ReasonColdStart: no stored signature → deploy remote and capture.
+	ReasonColdStart = "cold-start"
+	// ReasonNoHistory: monitoring window not full yet → safe local default.
+	ReasonNoHistory = "no-history"
+	// ReasonPredictError: the predictor failed → safe local default.
+	ReasonPredictError = "predict-error"
+	// ReasonBESlack: the best-effort β-slack rule decided.
+	ReasonBESlack = "be-slack"
+	// ReasonLCQoS: the latency-critical QoS gate decided.
+	ReasonLCQoS = "lc-qos"
+	// ReasonLCNoQoS: LC app without a QoS constraint → safe local.
+	ReasonLCNoQoS = "lc-no-qos"
+	// ReasonCapacity: a remote verdict degraded to local on a full pool.
+	ReasonCapacity = "capacity"
 )
 
 // Decision records one orchestration decision for later analysis.
@@ -17,6 +37,7 @@ type Decision struct {
 	PredRem   float64 // predicted perf on remote
 	ColdStart bool    // true when the app had no signature yet
 	Fallback  bool    // true when prediction failed and the safe default won
+	Reason    string  // which rule produced the tier (Reason* constants)
 }
 
 // Orchestrator is the Adrias scheduler (paper §V-C). For best-effort
@@ -60,7 +81,7 @@ func (o *Orchestrator) Name() string { return fmt.Sprintf("adrias(β=%g)", o.Bet
 // otherwise the β-slack rule (BE) or QoS gate (LC) over the predictor,
 // degraded to local when the remote pool cannot fit the footprint.
 func (o *Orchestrator) Decide(p *workload.Profile, c *cluster.Cluster) memsys.Tier {
-	return o.DecideBatch([]*workload.Profile{p}, c)[0]
+	return o.DecideBatch(context.Background(), []*workload.Profile{p}, c)[0]
 }
 
 // DecideBE applies the paper's best-effort rule: local iff

@@ -1,0 +1,39 @@
+package models
+
+import (
+	"sync/atomic"
+
+	"adrias/internal/obs"
+)
+
+// InferenceMetrics counts batched inference work: how many PredictEach
+// calls ran, how many samples they carried, and how long each call took.
+// One set instruments the whole package (both performance models share it),
+// installed through RegisterMetrics or SetInstrumentation.
+type InferenceMetrics struct {
+	Batches   *obs.Counter
+	Samples   *obs.Counter
+	BatchSize *obs.Histogram
+	Latency   *obs.Histogram
+}
+
+// instr is the package's live instrumentation; nil keeps the hot path at
+// one atomic load. An atomic pointer (not plain assignment) because
+// inference may already be running when a server installs metrics.
+var instr atomic.Pointer[InferenceMetrics]
+
+// RegisterMetrics creates the adrias_models_* series on the registry and
+// installs them as the package's live inference instrumentation.
+func RegisterMetrics(r *obs.Registry) *InferenceMetrics {
+	m := &InferenceMetrics{
+		Batches:   r.Counter("adrias_models_inference_batches_total", "Batched inference calls (PredictEach)."),
+		Samples:   r.Counter("adrias_models_inference_samples_total", "Samples predicted through batched inference."),
+		BatchSize: r.Histogram("adrias_models_inference_batch_size", "Samples per batched inference call.", obs.SizeBuckets()),
+		Latency:   r.Histogram("adrias_models_inference_seconds", "Wall time of one batched inference call.", obs.DefaultLatencyBuckets()),
+	}
+	instr.Store(m)
+	return m
+}
+
+// SetInstrumentation replaces the live instrumentation (nil disables it).
+func SetInstrumentation(m *InferenceMetrics) { instr.Store(m) }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"time"
 
 	"adrias/internal/dataset"
 	"adrias/internal/mathx"
@@ -432,6 +433,15 @@ func (m *PerfModel) Evaluate(samples []PerfSample, testIdx []int) (PerfEval, err
 // Admission-sized batches run on the calling goroutine; large sweeps shard
 // contiguous chunks across model clones (see batchWorkers).
 func (m *PerfModel) PredictEach(samples []PerfSample, kind FutureKind) (mathx.Vector, []error) {
+	if im := instr.Load(); im != nil {
+		start := time.Now()
+		defer func() {
+			im.Batches.Inc()
+			im.Samples.Add(uint64(len(samples)))
+			im.BatchSize.Observe(float64(len(samples)))
+			im.Latency.ObserveDuration(time.Since(start))
+		}()
+	}
 	preds := mathx.NewVector(len(samples))
 	errs := make([]error, len(samples))
 	if !m.trained {

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket cumulative histogram. Observations are plain
+// float64 values — seconds for latencies (ObserveDuration), dimensionless
+// for sizes. All operations are atomic; Observe never allocates.
+type Histogram struct {
+	bounds []float64       // upper bounds, ascending
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // math.Float64bits of the running sum
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// DefaultLatencyBuckets spans 100 µs … 10 s, roughly logarithmic.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{1e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// SizeBuckets covers batch/queue sizes 1 … 256 in powers of two.
+func SizeBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// ObserveDuration records one duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile returns an upper-bound estimate of the q-quantile (0..1) from
+// the bucket counts — good enough for operator read-outs.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen > rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// WritePrometheus renders the histogram in text exposition format under the
+// given series name.
+func (h *Histogram) WritePrometheus(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, trimFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// JSON debug surfaces for the tracer and the audit log, mounted by the
+// serving layer under /debug/traces and /debug/decisions.
+
+// spanJSON renders a span with a millisecond duration (JSON-friendlier than
+// time.Duration's nanosecond integer).
+type spanJSON struct {
+	Name    string    `json:"name"`
+	Start   time.Time `json:"start"`
+	DurMs   float64   `json:"dur_ms"`
+	DurText string    `json:"dur"`
+}
+
+type traceJSON struct {
+	ID     string     `json:"id"`
+	App    string     `json:"app,omitempty"`
+	Start  time.Time  `json:"start"`
+	Stages []spanJSON `json:"stages"`
+}
+
+type tracesPayload struct {
+	Total    uint64                `json:"total_traces"`
+	Retained int                   `json:"retained"`
+	Stages   []string              `json:"stage_order"`
+	Summary  map[string]StageStats `json:"stage_summary"`
+	Traces   []traceJSON           `json:"traces"`
+}
+
+// Handler returns the /debug/traces endpoint: retained traces (oldest
+// first) plus per-stage percentile summaries. ?id=<trace-id> filters to one
+// trace (404 when it has rolled out of the ring).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var traces []Trace
+		if id := r.URL.Query().Get("id"); id != "" {
+			tr, ok := t.Find(id)
+			if !ok {
+				http.Error(w, `{"error":"trace not found"}`, http.StatusNotFound)
+				return
+			}
+			traces = []Trace{tr}
+		} else {
+			traces = t.Snapshot()
+		}
+		order, summary := t.StageSummary()
+		p := tracesPayload{
+			Total:    t.Total(),
+			Retained: len(traces),
+			Stages:   order,
+			Summary:  summary,
+			Traces:   make([]traceJSON, len(traces)),
+		}
+		for i, tr := range traces {
+			tj := traceJSON{ID: tr.ID, App: tr.App, Start: tr.Start,
+				Stages: make([]spanJSON, len(tr.Stages))}
+			for j, s := range tr.Stages {
+				tj.Stages[j] = spanJSON{Name: s.Name, Start: s.Start,
+					DurMs: float64(s.Dur) / float64(time.Millisecond), DurText: s.Dur.String()}
+			}
+			p.Traces[i] = tj
+		}
+		writeJSON(w, p)
+	})
+}
+
+type decisionsPayload struct {
+	Total     uint64           `json:"total_decisions"`
+	Retained  int              `json:"retained"`
+	Decisions []DecisionRecord `json:"decisions"`
+}
+
+// Handler returns the /debug/decisions endpoint: the retained audit
+// records, oldest first. ?trace_id=<id> filters to one record.
+func (l *AuditLog) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var recs []DecisionRecord
+		if id := r.URL.Query().Get("trace_id"); id != "" {
+			rec, ok := l.Find(id)
+			if !ok {
+				http.Error(w, `{"error":"decision not found"}`, http.StatusNotFound)
+				return
+			}
+			recs = []DecisionRecord{rec}
+		} else {
+			recs = l.Snapshot()
+		}
+		writeJSON(w, decisionsPayload{Total: l.Total(), Retained: len(recs), Decisions: recs})
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

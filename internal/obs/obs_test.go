@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryDuplicateAndOrder(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a_total", "first")
+	c.Add(3)
+	r.Gauge("b_gauge", "second", func() float64 { return 1.5 })
+	if err := r.Register("a_total", CollectorFunc(func(w io.Writer) {})); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "a_total 3") || !strings.Contains(out, "b_gauge 1.5") {
+		t.Errorf("missing series:\n%s", out)
+	}
+	if strings.Index(out, "a_total") > strings.Index(out, "b_gauge") {
+		t.Error("registration order not preserved")
+	}
+	if got := r.Names(); len(got) != 2 {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+// TestRegistryConcurrent registers and scrapes from many goroutines — the
+// -race guard for scrape-during-registration.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c := r.Counter(fmt.Sprintf("c_%d_%d_total", g, i), "concurrent")
+				c.Inc()
+			}
+		}(g)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var sb strings.Builder
+				r.WritePrometheus(&sb)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Names()); got != 8*50 {
+		t.Errorf("registered %d collectors, want %d", got, 8*50)
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0.5); got != 0.01 {
+		t.Errorf("p50 = %g, want 0.01", got)
+	}
+	if got := h.Quantile(0.99); got != 1 {
+		t.Errorf("p99 = %g, want 1", got)
+	}
+	wantSum := 90*0.005 + 10*0.5
+	if diff := h.Sum() - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+	var sb strings.Builder
+	h.WritePrometheus(&sb, "x_seconds", "help text")
+	out := sb.String()
+	for _, want := range []string{
+		`x_seconds_bucket{le="0.01"} 90`,
+		`x_seconds_bucket{le="+Inf"} 100`,
+		"x_seconds_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestTracerWraparound fills the ring past capacity and checks that only the
+// newest traces survive, in order.
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Trace{ID: fmt.Sprintf("t-%d", i),
+			Stages: []Span{{Name: "stage", Dur: time.Millisecond}}})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	got := tr.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("retained %d traces, want 4", len(got))
+	}
+	for i, tc := range got {
+		want := fmt.Sprintf("t-%d", 6+i)
+		if tc.ID != want {
+			t.Errorf("slot %d = %s, want %s", i, tc.ID, want)
+		}
+	}
+	if _, ok := tr.Find("t-9"); !ok {
+		t.Error("newest trace not findable")
+	}
+	if _, ok := tr.Find("t-0"); ok {
+		t.Error("evicted trace still findable")
+	}
+	order, sum := tr.StageSummary()
+	if len(order) != 1 || order[0] != "stage" {
+		t.Errorf("stage order = %v", order)
+	}
+	if sum["stage"].Count != 10 {
+		t.Errorf("stage count = %d, want 10 (summaries span evictions)", sum["stage"].Count)
+	}
+}
+
+// TestTracerConcurrentRecord hammers Record and Snapshot together (-race).
+func TestTracerConcurrentRecord(t *testing.T) {
+	tr := NewTracer(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Record(Trace{ID: NewTraceID(),
+					Stages: []Span{{Name: "s", Dur: time.Microsecond}}})
+			}
+		}(g)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Snapshot()
+				tr.StageSummary()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Total() != 800 {
+		t.Errorf("total = %d, want 800", tr.Total())
+	}
+}
+
+func TestAuditLogWraparound(t *testing.T) {
+	l := NewAuditLog(3)
+	for i := 0; i < 7; i++ {
+		l.Record(DecisionRecord{TraceID: fmt.Sprintf("d-%d", i), App: "gmm", Tier: "local"})
+	}
+	got := l.Snapshot()
+	if len(got) != 3 || l.Total() != 7 {
+		t.Fatalf("retained %d / total %d", len(got), l.Total())
+	}
+	for i, r := range got {
+		if want := fmt.Sprintf("d-%d", 4+i); r.TraceID != want {
+			t.Errorf("slot %d = %s, want %s", i, r.TraceID, want)
+		}
+	}
+	if _, ok := l.Find("d-6"); !ok {
+		t.Error("newest record not findable")
+	}
+}
+
+func TestTraceIDUnique(t *testing.T) {
+	const n = 2000
+	seen := make(map[string]bool, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				id := NewTraceID()
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("duplicate trace ID %s", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStartSpanNoRecorderIsNoop(t *testing.T) {
+	done := StartSpan(context.Background(), "x")
+	done() // must not panic
+
+	rec := NewSpanRecorder()
+	ctx := WithRecorder(context.Background(), rec)
+	end := StartSpan(ctx, "y")
+	end()
+	spans := rec.Spans()
+	if len(spans) != 1 || spans[0].Name != "y" {
+		t.Errorf("spans = %+v", spans)
+	}
+}

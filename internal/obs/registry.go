@@ -1,0 +1,159 @@
+// Package obs is the repo-wide observability layer: a metric registry with
+// Prometheus text exposition, request tracing with per-stage spans recorded
+// into a lock-cheap ring buffer, and a bounded decision audit log. The
+// package depends only on the standard library, so every layer — bus,
+// models, thymesis, serve, the command binaries — can register series and
+// record traces without dependency cycles or external client libraries
+// (the container has none).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Collector renders one or more metric series in Prometheus text exposition
+// format (version 0.0.4). Collectors are invoked at scrape time and must be
+// safe for concurrent use with the processes they observe.
+type Collector interface {
+	WritePrometheus(w io.Writer)
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(w io.Writer)
+
+// WritePrometheus implements Collector.
+func (f CollectorFunc) WritePrometheus(w io.Writer) { f(w) }
+
+// Registry is a named set of metric collectors sharing one exposition
+// endpoint. Registration and scraping are safe for concurrent use; names
+// must be unique. Collectors render in registration order, so a package's
+// series stay grouped together in the /metrics output.
+type Registry struct {
+	mu    sync.RWMutex
+	names map[string]struct{}
+	order []namedCollector
+}
+
+type namedCollector struct {
+	name string
+	c    Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]struct{})}
+}
+
+// Register adds a collector under a unique name. The name is the registry
+// key, not necessarily a series name: a collector may render several series
+// (e.g. one package's whole block). Duplicate names are an error.
+func (r *Registry) Register(name string, c Collector) error {
+	if name == "" {
+		return fmt.Errorf("obs: empty collector name")
+	}
+	if c == nil {
+		return fmt.Errorf("obs: nil collector %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.names[name]; dup {
+		return fmt.Errorf("obs: collector %q already registered", name)
+	}
+	r.names[name] = struct{}{}
+	r.order = append(r.order, namedCollector{name: name, c: c})
+	return nil
+}
+
+// MustRegister is Register that panics on error (a programming error: the
+// set of registered names is static per process).
+func (r *Registry) MustRegister(name string, c Collector) {
+	if err := r.Register(name, c); err != nil {
+		panic(err)
+	}
+}
+
+// Names returns the registered collector names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.names))
+	for n := range r.names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WritePrometheus renders every registered collector in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	cs := append([]namedCollector(nil), r.order...)
+	r.mu.RUnlock()
+	for _, nc := range cs {
+		nc.c.WritePrometheus(w)
+	}
+}
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// construct through Registry.Counter so the series is registered.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Counter constructs and registers a counter series.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.MustRegister(name, c)
+	return c
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// WritePrometheus implements Collector.
+func (c *Counter) WritePrometheus(w io.Writer) {
+	WriteCounter(w, c.name, c.help, c.v.Load())
+}
+
+// Gauge registers a scrape-time gauge read through fn.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.MustRegister(name, CollectorFunc(func(w io.Writer) {
+		WriteGauge(w, name, help, fn())
+	}))
+}
+
+// Histogram constructs and registers a histogram series over the given
+// ascending upper bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := new(Histogram)
+	*h = NewHistogram(bounds)
+	r.MustRegister(name, CollectorFunc(func(w io.Writer) {
+		h.WritePrometheus(w, name, help)
+	}))
+	return h
+}
+
+// WriteCounter renders one counter series with HELP/TYPE headers.
+func WriteCounter(w io.Writer, name, help string, v uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s counter\n", name)
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+// WriteGauge renders one gauge series with HELP/TYPE headers.
+func WriteGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+	fmt.Fprintf(w, "%s %g\n", name, v)
+}

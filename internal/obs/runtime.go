@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"io"
+	"runtime"
+)
+
+// RegisterRuntime publishes Go runtime health series — goroutine count, heap
+// occupancy, GC activity — on the registry. One collector reads MemStats
+// once per scrape rather than once per series.
+func RegisterRuntime(r *Registry) {
+	r.MustRegister("adrias_go_runtime", CollectorFunc(func(w io.Writer) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		WriteGauge(w, "adrias_go_goroutines", "Live goroutines.", float64(runtime.NumGoroutine()))
+		WriteGauge(w, "adrias_go_heap_alloc_bytes", "Heap bytes currently allocated.", float64(ms.HeapAlloc))
+		WriteGauge(w, "adrias_go_heap_objects", "Heap objects currently live.", float64(ms.HeapObjects))
+		WriteCounter(w, "adrias_go_gc_cycles_total", "Completed GC cycles.", uint64(ms.NumGC))
+		WriteCounter(w, "adrias_go_gc_pause_ns_total", "Cumulative GC stop-the-world pause, nanoseconds.", ms.PauseTotalNs)
+		WriteCounter(w, "adrias_go_alloc_bytes_total", "Cumulative bytes allocated.", ms.TotalAlloc)
+	}))
+}

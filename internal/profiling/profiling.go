@@ -6,6 +6,8 @@ package profiling
 
 import (
 	"fmt"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -51,4 +53,19 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			}
 		}
 	}, nil
+}
+
+// DebugHandler returns the standard pprof surface under /debug/pprof/ for
+// long-running servers (`go tool pprof http://host:port/debug/pprof/heap`).
+// Routes are mounted on a private mux rather than http.DefaultServeMux so a
+// server opts in explicitly — the profile endpoints expose internals and
+// belong on a separate, non-public listener.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
 }

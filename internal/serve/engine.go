@@ -1,13 +1,16 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
+	"adrias/internal/bus"
 	"adrias/internal/cluster"
 	"adrias/internal/core"
 	"adrias/internal/memsys"
+	"adrias/internal/obs"
 	"adrias/internal/randutil"
 	"adrias/internal/workload"
 )
@@ -36,6 +39,10 @@ type EngineConfig struct {
 	NegSigTTL time.Duration
 	// Cluster overrides the testbed configuration (nil: paper defaults).
 	Cluster *cluster.Config
+	// Bus, when set, receives every placement decision on topic
+	// "orchestrator.decisions" and a monitoring sample per Advance on
+	// "watcher.samples" — the live equivalent of adriasd's replay stream.
+	Bus *bus.Bus
 }
 
 func (c EngineConfig) withDefaults(histTicks int) EngineConfig {
@@ -73,6 +80,7 @@ type SystemEngine struct {
 	sigs  *SignatureCache
 	rng   *randutil.Source
 	cfg   EngineConfig
+	audit *obs.AuditLog // nil until RegisterObs
 
 	ambientStarted uint64
 }
@@ -124,11 +132,34 @@ func NewSystemEngine(pred *core.Predictor, watch *core.Watcher, reg *workload.Re
 	return e
 }
 
+// decisionEvent is the bus payload for one placement decision — the
+// adriasd wire shape plus the trace ID and decision reason.
+type decisionEvent struct {
+	TraceID   string  `json:"trace_id,omitempty"`
+	App       string  `json:"app"`
+	Class     string  `json:"class"`
+	Tier      string  `json:"tier"`
+	PredLocal float64 `json:"pred_local,omitempty"`
+	PredRem   float64 `json:"pred_remote,omitempty"`
+	ColdStart bool    `json:"cold_start,omitempty"`
+	Reason    string  `json:"reason,omitempty"`
+}
+
+// sampleEvent is the bus payload for one monitoring sample.
+type sampleEvent struct {
+	Time    float64   `json:"time"`
+	Metrics []float64 `json:"metrics"`
+	Running int       `json:"running"`
+}
+
 // PlaceBatch implements Engine: one lock acquisition, one DecideBatch (one
 // Ŝ forecast + one batched inference per performance model) for the whole
 // coalesced batch. Unknown applications fail individually with
-// ErrUnknownApp; the rest of the batch is unaffected.
-func (e *SystemEngine) PlaceBatch(reqs []PlaceRequest) []PlaceResult {
+// ErrUnknownApp; the rest of the batch is unaffected. ctx carries the
+// batch's obs.SpanRecorder through to the orchestrator's pipeline stages;
+// every decision is recorded in the audit log (when RegisterObs wired one)
+// and published on the configured bus.
+func (e *SystemEngine) PlaceBatch(ctx context.Context, reqs []PlaceRequest) []PlaceResult {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
@@ -137,6 +168,7 @@ func (e *SystemEngine) PlaceBatch(reqs []PlaceRequest) []PlaceResult {
 	idx := make([]int, 0, len(reqs))
 	for i, r := range reqs {
 		results[i].App = r.App
+		results[i].TraceID = r.TraceID
 		p := e.reg.ByName(r.App)
 		if p == nil {
 			results[i].Err = fmt.Errorf("%w: %q", ErrUnknownApp, r.App)
@@ -149,8 +181,9 @@ func (e *SystemEngine) PlaceBatch(reqs []PlaceRequest) []PlaceResult {
 	if len(profiles) == 0 {
 		return results
 	}
-	tiers := e.orch.DecideBatch(profiles, e.cl)
+	tiers := e.orch.DecideBatch(ctx, profiles, e.cl)
 	base := len(e.orch.Decisions) - len(profiles)
+	now := time.Now()
 	for k, i := range idx {
 		d := e.orch.Decisions[base+k]
 		results[i].Tier = tiers[k]
@@ -158,8 +191,34 @@ func (e *SystemEngine) PlaceBatch(reqs []PlaceRequest) []PlaceResult {
 		results[i].PredRemS = d.PredRem
 		results[i].ColdStart = d.ColdStart
 		results[i].Fallback = d.Fallback
+		results[i].Reason = d.Reason
 		if !reqs[i].DryRun {
 			e.cl.Deploy(profiles[k], tiers[k])
+		}
+		if e.audit != nil {
+			e.audit.Record(obs.DecisionRecord{
+				TraceID:     reqs[i].TraceID,
+				Time:        now,
+				SimTime:     e.cl.Now(),
+				App:         d.App,
+				Class:       d.Class.String(),
+				Tier:        tiers[k].String(),
+				PredLocalS:  d.PredLocal,
+				PredRemoteS: d.PredRem,
+				Beta:        e.orch.Beta,
+				QoSMs:       e.orch.QoSMs[d.App],
+				ColdStart:   d.ColdStart,
+				Fallback:    d.Fallback,
+				Reason:      d.Reason,
+				BatchSize:   len(profiles),
+			})
+		}
+		if e.cfg.Bus != nil {
+			_, _ = e.cfg.Bus.Publish("orchestrator.decisions", decisionEvent{
+				TraceID: reqs[i].TraceID, App: d.App, Class: d.Class.String(),
+				Tier: tiers[k].String(), PredLocal: d.PredLocal, PredRem: d.PredRem,
+				ColdStart: d.ColdStart, Reason: d.Reason,
+			})
 		}
 	}
 	return results
@@ -188,6 +247,12 @@ func (e *SystemEngine) Advance(simSec float64) {
 		e.ambientStarted++
 	}
 	e.cl.Run(now + simSec)
+	if e.cfg.Bus != nil {
+		s := e.cl.LastSample()
+		_, _ = e.cfg.Bus.Publish("watcher.samples", sampleEvent{
+			Time: e.cl.Now(), Metrics: s.Vector(), Running: len(e.cl.Running()),
+		})
+	}
 }
 
 func (e *SystemEngine) pickAmbient() *workload.Profile {
@@ -249,5 +314,19 @@ func (e *SystemEngine) RegisterMetrics(m *Metrics) {
 	m.AddGauge("adrias_serve_sigcache_misses_total", "Signature-cache misses.", func() float64 {
 		_, ms := e.sigs.Stats()
 		return float64(ms)
+	})
+}
+
+// RegisterObs wires the engine into the service's observability surfaces:
+// placement decisions flow into the audit log behind /debug/decisions, and
+// the testbed's ThymesisFlow fabric telemetry registers on the /metrics
+// registry. Fabric reads are guarded by the engine mutex — the Fabric
+// itself is not concurrency-safe and ticks under that lock.
+func (e *SystemEngine) RegisterObs(tel *Telemetry) {
+	e.audit = tel.Audit
+	e.cl.Node().Fabric().RegisterMetrics(tel.Registry, func(read func()) {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		read()
 	})
 }

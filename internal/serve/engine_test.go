@@ -11,6 +11,7 @@ import (
 	"adrias/internal/core"
 	"adrias/internal/dataset"
 	"adrias/internal/models"
+	"adrias/internal/obs"
 	"adrias/internal/scenario"
 	"adrias/internal/workload"
 )
@@ -110,7 +111,7 @@ func TestSystemEngineEndToEnd(t *testing.T) {
 	}
 
 	// A mixed batch: BE, LC, cold-start (iBench has no signature), unknown.
-	results := eng.PlaceBatch([]PlaceRequest{
+	results := eng.PlaceBatch(context.Background(), []PlaceRequest{
 		{App: "gmm", DryRun: true},
 		{App: "redis", DryRun: true},
 		{App: "ibench-membw", DryRun: true},
@@ -134,7 +135,7 @@ func TestSystemEngineEndToEnd(t *testing.T) {
 
 	// Dry runs must not occupy the testbed; real placements must.
 	before := eng.Snapshot()
-	eng.PlaceBatch([]PlaceRequest{{App: "gmm"}})
+	eng.PlaceBatch(context.Background(), []PlaceRequest{{App: "gmm"}})
 	after := eng.Snapshot()
 	if after.Running != before.Running+1 {
 		t.Errorf("deploying placement did not start an instance: %d → %d", before.Running, after.Running)
@@ -222,7 +223,7 @@ func BenchmarkAdmissionUnbatched(b *testing.B) {
 	benchAdmission(b, Config{BatchWindow: -1, MaxBatch: 1})
 }
 
-func BenchmarkPlaceBatchSizes(b *testing.B) {
+func benchPlaceBatchSizes(b *testing.B, makeCtx func() context.Context) {
 	eng := tinyEngine(b, EngineConfig{Seed: 31})
 	for _, size := range []int{1, 8, 32} {
 		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) {
@@ -232,9 +233,24 @@ func BenchmarkPlaceBatchSizes(b *testing.B) {
 			}
 			b.ResetTimer()
 			for n := 0; n < b.N; n++ {
-				eng.PlaceBatch(reqs)
+				eng.PlaceBatch(makeCtx(), reqs)
 			}
 			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "placements/s")
 		})
 	}
+}
+
+// BenchmarkPlaceBatchSizes is the untraced baseline: the context carries no
+// SpanRecorder, so every StartSpan along the pipeline is a no-op.
+func BenchmarkPlaceBatchSizes(b *testing.B) {
+	benchPlaceBatchSizes(b, context.Background)
+}
+
+// BenchmarkPlaceBatchSizesTraced runs the identical workload with a live
+// SpanRecorder per batch — the overhead-budget comparison (≤5% on batch-8)
+// that CI's benchdiff enforces against the baseline above.
+func BenchmarkPlaceBatchSizesTraced(b *testing.B) {
+	benchPlaceBatchSizes(b, func() context.Context {
+		return obs.WithRecorder(context.Background(), obs.NewSpanRecorder())
+	})
 }

@@ -19,7 +19,8 @@ type PlaceHTTPRequest struct {
 	DeadlineMs float64 `json:"deadline_ms,omitempty"`
 }
 
-// PlaceHTTPResponse is the JSON body of a successful placement.
+// PlaceHTTPResponse is the JSON body of a successful placement. TraceID
+// keys into /debug/traces?id= and /debug/decisions?trace_id=.
 type PlaceHTTPResponse struct {
 	App         string  `json:"app"`
 	Class       string  `json:"class"`
@@ -28,7 +29,9 @@ type PlaceHTTPResponse struct {
 	PredRemoteS float64 `json:"pred_remote_s,omitempty"`
 	ColdStart   bool    `json:"cold_start,omitempty"`
 	Fallback    bool    `json:"fallback,omitempty"`
+	Reason      string  `json:"reason,omitempty"`
 	BatchSize   int     `json:"batch_size,omitempty"`
+	TraceID     string  `json:"trace_id,omitempty"`
 }
 
 // HealthResponse is the JSON body of GET /healthz.
@@ -56,9 +59,11 @@ type HealthSource interface {
 
 // NewHandler wires the placement service into an HTTP API:
 //
-//	POST /v1/place  — decide (and deploy) one application
-//	GET  /healthz   — liveness/readiness plus testbed state
-//	GET  /metrics   — Prometheus text exposition
+//	POST /v1/place        — decide (and deploy) one application
+//	GET  /healthz         — liveness/readiness plus testbed state
+//	GET  /metrics         — Prometheus text exposition (whole registry)
+//	GET  /debug/traces    — retained request traces + stage percentiles
+//	GET  /debug/decisions — placement audit log
 //
 // Error mapping: unknown app → 400, queue full → 429 (with Retry-After),
 // deadline exceeded → 504, draining → 503.
@@ -107,7 +112,9 @@ func NewHandler(svc *Service, health HealthSource) http.Handler {
 			PredRemoteS: res.PredRemS,
 			ColdStart:   res.ColdStart,
 			Fallback:    res.Fallback,
+			Reason:      res.Reason,
 			BatchSize:   res.BatchSize,
+			TraceID:     res.TraceID,
 		})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -126,8 +133,10 @@ func NewHandler(svc *Service, health HealthSource) http.Handler {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		svc.Metrics().WritePrometheus(w)
+		svc.Telemetry().Registry.WritePrometheus(w)
 	})
+	mux.Handle("GET /debug/traces", svc.Telemetry().Tracer.Handler())
+	mux.Handle("GET /debug/decisions", svc.Telemetry().Audit.Handler())
 	return mux
 }
 

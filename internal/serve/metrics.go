@@ -3,14 +3,27 @@ package serve
 import (
 	"fmt"
 	"io"
-	"sort"
 	"sync/atomic"
-	"time"
+
+	"adrias/internal/obs"
 )
+
+// Histogram aliases the repo-wide obs histogram: fixed buckets, atomic,
+// float64 observations (ObserveDuration for latencies). The alias keeps the
+// service's exported surface stable now that the implementation lives in
+// internal/obs.
+type Histogram = obs.Histogram
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds []float64) Histogram { return obs.NewHistogram(bounds) }
+
+// DefaultLatencyBuckets spans 100 µs … 10 s, roughly logarithmic.
+func DefaultLatencyBuckets() []float64 { return obs.DefaultLatencyBuckets() }
 
 // Metrics is the service's metric set, exposed in Prometheus text format on
 // /metrics. Everything is atomic; no external client library is used (the
-// container has none), the exposition format is hand-rendered.
+// container has none), the exposition format is hand-rendered through
+// internal/obs.
 type Metrics struct {
 	ReqOK       atomic.Uint64
 	ReqOverload atomic.Uint64
@@ -27,7 +40,11 @@ type Metrics struct {
 	ColdStarts   atomic.Uint64
 	Fallbacks    atomic.Uint64
 
-	Latency Histogram
+	// Latency is the end-to-end admission-pipeline time; QueueWait isolates
+	// the admission→dispatch share of it, so queue pressure and model time
+	// are tellable apart.
+	Latency   Histogram
+	QueueWait Histogram
 
 	// queueDepth reports the live admission-queue length at scrape time.
 	queueDepth func() int
@@ -43,7 +60,10 @@ type gauge struct {
 
 // NewMetrics returns an empty metric set with default latency buckets.
 func NewMetrics() *Metrics {
-	return &Metrics{Latency: NewHistogram(DefaultLatencyBuckets())}
+	return &Metrics{
+		Latency:   NewHistogram(DefaultLatencyBuckets()),
+		QueueWait: NewHistogram(DefaultLatencyBuckets()),
+	}
 }
 
 // AddGauge registers a scrape-time gauge. Not safe to call concurrently
@@ -52,77 +72,9 @@ func (m *Metrics) AddGauge(name, help string, read func() float64) {
 	m.extraGauges = append(m.extraGauges, gauge{name: name, help: help, read: read})
 }
 
-// DefaultLatencyBuckets spans 100 µs … 10 s, roughly logarithmic.
-func DefaultLatencyBuckets() []float64 {
-	return []float64{1e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
-}
-
-// Histogram is a fixed-bucket cumulative histogram of durations in seconds.
-type Histogram struct {
-	bounds []float64       // upper bounds, ascending
-	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
-	sumNs  atomic.Int64
-	count  atomic.Uint64
-}
-
-// NewHistogram builds a histogram over the given ascending upper bounds.
-func NewHistogram(bounds []float64) Histogram {
-	b := append([]float64(nil), bounds...)
-	sort.Float64s(b)
-	return Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
-}
-
-// Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
-	s := d.Seconds()
-	i := sort.SearchFloat64s(h.bounds, s)
-	h.counts[i].Add(1)
-	h.sumNs.Add(int64(d))
-	h.count.Add(1)
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
-
-// Quantile returns an upper-bound estimate of the q-quantile (0..1) from
-// the bucket counts — good enough for operator read-outs.
-func (h *Histogram) Quantile(q float64) float64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := uint64(q * float64(total))
-	var seen uint64
-	for i := range h.counts {
-		seen += h.counts[i].Load()
-		if seen > rank {
-			if i < len(h.bounds) {
-				return h.bounds[i]
-			}
-			return h.bounds[len(h.bounds)-1]
-		}
-	}
-	return h.bounds[len(h.bounds)-1]
-}
-
-func (h *Histogram) write(w io.Writer, name string) {
-	fmt.Fprintf(w, "# HELP %s Request latency through the admission pipeline.\n", name)
-	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
-	var cum uint64
-	for i, b := range h.bounds {
-		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, trimFloat(b), cum)
-	}
-	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
-}
-
-func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }
-
 // WritePrometheus renders the metric set in Prometheus text exposition
-// format (version 0.0.4).
+// format (version 0.0.4). Series names are part of the service's interface;
+// keep them stable.
 func (m *Metrics) WritePrometheus(w io.Writer) {
 	counterVec(w, "adrias_serve_requests_total",
 		"Placement requests by outcome.",
@@ -149,13 +101,14 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "# TYPE %s gauge\n", g.name)
 		fmt.Fprintf(w, "%s %g\n", g.name, g.read())
 	}
-	m.Latency.write(w, "adrias_serve_request_duration_seconds")
+	m.Latency.WritePrometheus(w, "adrias_serve_request_duration_seconds",
+		"Request latency through the admission pipeline.")
+	m.QueueWait.WritePrometheus(w, "adrias_serve_queue_wait_seconds",
+		"Time from admission to batch dispatch.")
 }
 
 func counter(w io.Writer, name, help string, v uint64) {
-	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
-	fmt.Fprintf(w, "# TYPE %s counter\n", name)
-	fmt.Fprintf(w, "%s %d\n", name, v)
+	obs.WriteCounter(w, name, help, v)
 }
 
 func counterVec(w io.Writer, name, help string, labels []string, vals []uint64, labelName string) {

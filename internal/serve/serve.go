@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"adrias/internal/memsys"
+	"adrias/internal/obs"
 	"adrias/internal/workload"
 )
 
@@ -46,6 +47,10 @@ type PlaceRequest struct {
 	App string
 	// DryRun decides without deploying the application onto the testbed.
 	DryRun bool
+	// TraceID identifies the request across /debug/traces and
+	// /debug/decisions. Place mints one when empty; callers may supply
+	// their own to correlate with an external tracing system.
+	TraceID string
 }
 
 // PlaceResult is one placement decision.
@@ -57,14 +62,18 @@ type PlaceResult struct {
 	PredRemS   float64 // predicted perf on remote
 	ColdStart  bool    // the app had no signature; deployed remote + captured
 	Fallback   bool    // prediction failed or pool full; safe default won
+	Reason     string  // which decision rule produced the tier
 	BatchSize  int     // number of requests decided in the same batch
+	TraceID    string  // the request's trace ID (see PlaceRequest.TraceID)
 	Err        error   // per-request failure (e.g. unknown application)
 }
 
 // Engine computes placement decisions for a coalesced batch of admitted
-// requests. results[i] answers reqs[i].
+// requests. results[i] answers reqs[i]. ctx carries the batch's
+// obs.SpanRecorder (when tracing) and is otherwise advisory — per-request
+// deadlines are enforced by the service, not the engine.
 type Engine interface {
-	PlaceBatch(reqs []PlaceRequest) []PlaceResult
+	PlaceBatch(ctx context.Context, reqs []PlaceRequest) []PlaceResult
 }
 
 // Config tunes the admission pipeline. The zero value selects the defaults.
@@ -84,6 +93,10 @@ type Config struct {
 	// DefaultTimeout is applied to requests whose context carries no
 	// deadline, so nothing can wait unboundedly (default 2 s).
 	DefaultTimeout time.Duration
+	// TraceCapacity bounds the /debug/traces ring (default 512).
+	TraceCapacity int
+	// AuditCapacity bounds the /debug/decisions ring (default 1024).
+	AuditCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +112,12 @@ func (c Config) withDefaults() Config {
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 2 * time.Second
 	}
+	if c.TraceCapacity <= 0 {
+		c.TraceCapacity = 512
+	}
+	if c.AuditCapacity <= 0 {
+		c.AuditCapacity = 1024
+	}
 	return c
 }
 
@@ -106,6 +125,7 @@ func (c Config) withDefaults() Config {
 type pending struct {
 	ctx  context.Context
 	req  PlaceRequest
+	enq  time.Time        // admission time: anchors queue_wait and the trace
 	done chan PlaceResult // buffered(1): the batcher never blocks on delivery
 }
 
@@ -115,6 +135,7 @@ type Service struct {
 	cfg Config
 	eng Engine
 	met *Metrics
+	tel *Telemetry
 
 	queue     chan *pending
 	quit      chan struct{}
@@ -125,11 +146,14 @@ type Service struct {
 
 // NewService starts the admission batcher over eng.
 func NewService(eng Engine, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	met := NewMetrics()
 	s := &Service{
-		cfg:     cfg.withDefaults(),
+		cfg:     cfg,
 		eng:     eng,
-		met:     NewMetrics(),
-		queue:   make(chan *pending, cfg.withDefaults().QueueDepth),
+		met:     met,
+		tel:     newTelemetry(met, cfg.TraceCapacity, cfg.AuditCapacity),
+		queue:   make(chan *pending, cfg.QueueDepth),
 		quit:    make(chan struct{}),
 		drained: make(chan struct{}),
 	}
@@ -140,6 +164,9 @@ func NewService(eng Engine, cfg Config) *Service {
 
 // Metrics returns the service's metric set (shared, live).
 func (s *Service) Metrics() *Metrics { return s.met }
+
+// Telemetry returns the service's observability surfaces (shared, live).
+func (s *Service) Telemetry() *Telemetry { return s.tel }
 
 // Place admits one placement request: it enqueues, waits for the batcher,
 // and returns the decision. It returns ErrOverloaded immediately when the
@@ -161,7 +188,10 @@ func (s *Service) Place(ctx context.Context, req PlaceRequest) (PlaceResult, err
 		s.met.ReqDeadline.Add(1)
 		return PlaceResult{}, err
 	}
-	p := &pending{ctx: ctx, req: req, done: make(chan PlaceResult, 1)}
+	if req.TraceID == "" {
+		req.TraceID = obs.NewTraceID()
+	}
+	p := &pending{ctx: ctx, req: req, enq: start, done: make(chan PlaceResult, 1)}
 	select {
 	case s.queue <- p:
 	default:
@@ -170,7 +200,7 @@ func (s *Service) Place(ctx context.Context, req PlaceRequest) (PlaceResult, err
 	}
 	select {
 	case r := <-p.done:
-		s.met.Latency.Observe(time.Since(start))
+		s.met.Latency.ObserveDuration(time.Since(start))
 		if r.Err != nil {
 			s.met.ReqError.Add(1)
 			return r, r.Err
@@ -190,7 +220,7 @@ func (s *Service) Place(ctx context.Context, req PlaceRequest) (PlaceResult, err
 		return r, nil
 	case <-ctx.Done():
 		s.met.ReqDeadline.Add(1)
-		s.met.Latency.Observe(time.Since(start))
+		s.met.Latency.ObserveDuration(time.Since(start))
 		return PlaceResult{}, ctx.Err()
 	}
 }
@@ -218,13 +248,13 @@ func (s *Service) run() {
 	for {
 		select {
 		case p := <-s.queue:
-			s.serveBatch(s.collect(p))
+			s.serveBatch(time.Now(), s.collect(p))
 		case <-s.quit:
 			// Drain: decide everything already admitted, then exit.
 			for {
 				select {
 				case p := <-s.queue:
-					s.serveBatch(s.collect(p))
+					s.serveBatch(time.Now(), s.collect(p))
 				default:
 					close(s.drained)
 					return
@@ -301,8 +331,14 @@ func (s *Service) collect(first *pending) []*pending {
 }
 
 // serveBatch discards expired requests, runs the rest through the engine in
-// one call, and delivers the results.
-func (s *Service) serveBatch(batch []*pending) {
+// one call, and delivers the results. collectStart is when the batcher
+// dequeued the batch's first request — the coalescing window opens there.
+//
+// Tracing: the engine call runs under one SpanRecorder for the whole batch
+// (the model stages execute once per batch, so their spans are shared by
+// every trace in it); queue_wait and coalesce are per-request, measured
+// here. One assembled Trace per live request lands in the tracer ring.
+func (s *Service) serveBatch(collectStart time.Time, batch []*pending) {
 	live := make([]*pending, 0, len(batch))
 	reqs := make([]PlaceRequest, 0, len(batch))
 	for _, p := range batch {
@@ -320,10 +356,24 @@ func (s *Service) serveBatch(batch []*pending) {
 	}
 	s.met.Batches.Add(1)
 	s.met.BatchedReqs.Add(uint64(len(live)))
-	results := s.eng.PlaceBatch(reqs)
+	rec := obs.NewSpanRecorder()
+	dispatch := time.Now()
+	for _, p := range live {
+		s.met.QueueWait.ObserveDuration(dispatch.Sub(p.enq))
+	}
+	coalesce := obs.Span{Name: "coalesce", Start: collectStart, Dur: dispatch.Sub(collectStart)}
+	results := s.eng.PlaceBatch(obs.WithRecorder(context.Background(), rec), reqs)
+	shared := rec.Spans()
 	for i, p := range live {
 		r := results[i]
 		r.BatchSize = len(live)
+		r.TraceID = p.req.TraceID
+		stages := make([]obs.Span, 0, len(shared)+2)
+		stages = append(stages,
+			obs.Span{Name: "queue_wait", Start: p.enq, Dur: dispatch.Sub(p.enq)},
+			coalesce)
+		stages = append(stages, shared...)
+		s.tel.Tracer.Record(obs.Trace{ID: p.req.TraceID, App: p.req.App, Start: p.enq, Stages: stages})
 		p.done <- r
 	}
 }

@@ -24,7 +24,7 @@ type fakeEngine struct {
 	gate        chan struct{} // when non-nil, PlaceBatch blocks until closed
 }
 
-func (f *fakeEngine) PlaceBatch(reqs []PlaceRequest) []PlaceResult {
+func (f *fakeEngine) PlaceBatch(ctx context.Context, reqs []PlaceRequest) []PlaceResult {
 	f.entered.Add(1)
 	f.enteredReqs.Add(int32(len(reqs)))
 	if f.gate != nil {

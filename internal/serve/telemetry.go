@@ -1,0 +1,30 @@
+package serve
+
+import (
+	"adrias/internal/obs"
+)
+
+// Telemetry bundles the service's observability surfaces: the metric
+// registry behind /metrics, the request tracer behind /debug/traces, and
+// the decision audit log behind /debug/decisions. NewService builds one per
+// service; other packages (bus, models, thymesis, the runtime) register
+// their series on the same Registry so a single scrape covers the whole
+// process.
+type Telemetry struct {
+	Registry *obs.Registry
+	Tracer   *obs.Tracer
+	Audit    *obs.AuditLog
+}
+
+func newTelemetry(met *Metrics, traceCap, auditCap int) *Telemetry {
+	tel := &Telemetry{
+		Registry: obs.NewRegistry(),
+		Tracer:   obs.NewTracer(traceCap),
+		Audit:    obs.NewAuditLog(auditCap),
+	}
+	// The service's own series register first so the established
+	// adrias_serve_* block leads the exposition, names unchanged.
+	tel.Registry.MustRegister("adrias_serve", obs.CollectorFunc(met.WritePrometheus))
+	obs.RegisterRuntime(tel.Registry)
+	return tel
+}

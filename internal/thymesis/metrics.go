@@ -1,0 +1,36 @@
+package thymesis
+
+import (
+	"adrias/internal/obs"
+)
+
+// RegisterMetrics publishes the fabric's telemetry — the paper's R1/R2
+// observables — on the registry: cumulative flit counters and the latest
+// tick's channel latency and utilization. The Fabric is not safe for
+// concurrent use, so every scrape-time read runs inside guard, which the
+// owner implements with whatever lock serializes its ticks (pass a
+// run-directly guard for single-threaded use).
+func (f *Fabric) RegisterMetrics(r *obs.Registry, guard func(read func())) {
+	if guard == nil {
+		guard = func(read func()) { read() }
+	}
+	snap := func(pick func(Counters, TickResult) float64) func() float64 {
+		return func() float64 {
+			var v float64
+			guard(func() { v = pick(f.ctrs, f.last) })
+			return v
+		}
+	}
+	r.Gauge("adrias_thymesis_flits_tx_total", "Flits sent toward the remote node (cumulative).",
+		snap(func(c Counters, _ TickResult) float64 { return c.FlitsTx }))
+	r.Gauge("adrias_thymesis_flits_rx_total", "Flits received from the remote node (cumulative).",
+		snap(func(c Counters, _ TickResult) float64 { return c.FlitsRx }))
+	r.Gauge("adrias_thymesis_bytes_moved_total", "Bytes moved over the fabric (cumulative).",
+		snap(func(c Counters, _ TickResult) float64 { return c.BytesMoved }))
+	r.Gauge("adrias_thymesis_ticks_total", "Fabric ticks resolved (cumulative).",
+		snap(func(c Counters, _ TickResult) float64 { return float64(c.Ticks) }))
+	r.Gauge("adrias_thymesis_channel_latency_cycles", "Channel latency of the latest tick (R2 model).",
+		snap(func(_ Counters, t TickResult) float64 { return t.LatencyCycles }))
+	r.Gauge("adrias_thymesis_utilization", "Offered/cap utilization of the latest tick.",
+		snap(func(_ Counters, t TickResult) float64 { return t.Utilization }))
+}

@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the placement service: build adrias-serve and the
-# adrias-bench load generator, start the service (fast-trained models), wait
-# until /healthz answers, drive 100 requests through the load generator,
-# check the metrics endpoint, then SIGTERM and require a clean drain.
+# adrias-bench load generator, start the service (fast-trained models, pprof
+# listener on), wait until /healthz answers, drive 100 requests through the
+# load generator, check the metrics / trace / decision-audit endpoints, then
+# SIGTERM and require a clean drain. With ARTIFACT_DIR set, the observability
+# scrapes are saved there for upload as a CI artifact.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 port="${PORT:-7741}"
+dbgport="${DEBUG_PORT:-7742}"
 tmp="$(mktemp -d)"
+scrapes="${ARTIFACT_DIR:-$tmp/scrapes}"
+mkdir -p "$scrapes"
 pid=""
 cleanup() {
   [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
@@ -18,7 +23,8 @@ trap cleanup EXIT
 go build -o "$tmp/adrias-serve" ./cmd/adrias-serve
 go build -o "$tmp/adrias-bench" ./cmd/adrias-bench
 
-"$tmp/adrias-serve" -listen "127.0.0.1:$port" -tick 500ms >"$tmp/serve.log" 2>&1 &
+"$tmp/adrias-serve" -listen "127.0.0.1:$port" -tick 500ms \
+  -debug-addr "127.0.0.1:$dbgport" >"$tmp/serve.log" 2>&1 &
 pid=$!
 
 ready=""
@@ -41,12 +47,15 @@ if [ -z "$ready" ]; then
 fi
 
 # 100 requests, mixed application classes; the generator exits non-zero on
-# any transport error or 5xx.
-"$tmp/adrias-bench" -target "http://127.0.0.1:$port" -n 100 -conc 8
+# any transport error or 5xx. -dump-decisions exercises the audit-log
+# read-out path against the live server.
+"$tmp/adrias-bench" -target "http://127.0.0.1:$port" -n 100 -conc 8 \
+  -dump-decisions | tee "$scrapes/loadgen.txt"
 
 # All 100 must have been served OK, and the admission pipeline must have
 # actually coalesced them into batches.
 metrics="$(curl -fsS "http://127.0.0.1:$port/metrics")"
+echo "$metrics" >"$scrapes/metrics.txt"
 echo "$metrics" | grep -q 'adrias_serve_requests_total{outcome="ok"} 100' || {
   echo "expected 100 ok requests in /metrics:" >&2
   echo "$metrics" | grep adrias_serve_requests_total >&2
@@ -54,6 +63,45 @@ echo "$metrics" | grep -q 'adrias_serve_requests_total{outcome="ok"} 100' || {
 }
 echo "$metrics" | grep -q '^adrias_serve_batches_total' || {
   echo "missing batch counter in /metrics" >&2
+  exit 1
+}
+
+# One scrape must carry series from serve, bus, models, thymesis, and the
+# Go runtime at once — the repo-wide registry is wired, not just serve's.
+for series in adrias_serve_queue_wait_seconds_count adrias_bus_published_total \
+  adrias_models_inference_batches_total adrias_thymesis_flits_tx_total \
+  adrias_go_goroutines; do
+  echo "$metrics" | grep -q "^$series" || {
+    echo "missing $series in /metrics" >&2
+    exit 1
+  }
+done
+
+# Every request is traceable: the trace ring must hold the pipeline stages
+# (queue wait and coalescing per request, the model/decide spans per batch).
+traces="$(curl -fsS "http://127.0.0.1:$port/debug/traces")"
+echo "$traces" >"$scrapes/traces.json"
+for stage in queue_wait coalesce signature_lookup sysstate_predict \
+  perf_predict decide; do
+  echo "$traces" | grep -q "\"$stage\"" || {
+    echo "missing stage $stage in /debug/traces" >&2
+    exit 1
+  }
+done
+
+# Every decision is audited with the predictions that produced it.
+decisions="$(curl -fsS "http://127.0.0.1:$port/debug/decisions")"
+echo "$decisions" >"$scrapes/decisions.json"
+for field in trace_id pred_local_s beta reason; do
+  echo "$decisions" | grep -q "\"$field\"" || {
+    echo "missing field $field in /debug/decisions" >&2
+    exit 1
+  }
+done
+
+# The pprof surface answers on the separate debug listener.
+curl -fsS "http://127.0.0.1:$dbgport/debug/pprof/" >/dev/null || {
+  echo "pprof index not served on the debug listener" >&2
   exit 1
 }
 
