@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet serve-smoke trace-overhead ci
+.PHONY: build test race bench fmt vet serve-smoke chaos-smoke trace-overhead ci
 
 build:
 	$(GO) build ./...
@@ -34,9 +34,16 @@ vet:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+## chaos-smoke: end-to-end chaos test of the graceful-degradation layer:
+## serve with a deterministic fault schedule armed, sustain load through the
+## adrias-bench chaos harness, require the circuit breaker to trip and
+## recover with valid fallback placements throughout.
+chaos-smoke:
+	./scripts/chaos_smoke.sh
+
 ## trace-overhead: gate span recording on the batch-8 placement path at
 ## ≤ MAX_OVERHEAD_PCT (default 5) percent over the untraced baseline.
 trace-overhead:
 	./scripts/trace_overhead.sh
 
-ci: build fmt vet test race bench serve-smoke trace-overhead
+ci: build fmt vet test race bench serve-smoke chaos-smoke trace-overhead

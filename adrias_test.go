@@ -68,7 +68,7 @@ func TestRunScenarioWithOrchestrator(t *testing.T) {
 	if len(res.Runs) == 0 {
 		t.Fatal("no runs")
 	}
-	if len(orch.Decisions) == 0 {
+	if orch.TotalDecisions() == 0 {
 		t.Fatal("orchestrator made no decisions")
 	}
 }

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// chaosOpts configures the chaos harness (-chaos with -target): sustained
+// load against an adrias-serve instance running with an armed fault
+// schedule, verifying graceful degradation rather than raw latency.
+type chaosOpts struct {
+	target   string
+	duration time.Duration
+	conc     int
+	apps     []string
+}
+
+// chaosStats aggregates the harness's observations across workers and the
+// health monitor.
+type chaosStats struct {
+	mu          sync.Mutex
+	requests    int
+	status      map[int]int
+	transport   int
+	invalidTier int            // 200s whose tier is neither local nor remote
+	reasons     map[string]int // decision reasons seen on 200s
+	breakerSeen map[string]int // breaker states observed on /healthz
+	sawDegraded bool
+	recovered   bool // healthy (breaker closed) observed after an open
+}
+
+// runChaos drives sustained load at a chaos-mode server for the configured
+// duration and asserts the graceful-degradation contract: every answered
+// request carries a valid placement, nothing panics or 5xxes, the circuit
+// breaker is observed open under the injected faults and closed again after
+// them. Returns a process exit code.
+func runChaos(o chaosOpts) int {
+	if o.conc <= 0 || len(o.apps) == 0 || o.duration <= 0 {
+		fmt.Fprintln(os.Stderr, "chaos: -conc and -chaos-duration must be > 0 and -apps non-empty")
+		return 2
+	}
+	base := strings.TrimSuffix(o.target, "/")
+	client := &http.Client{Timeout: 30 * time.Second}
+	st := &chaosStats{
+		status:      map[int]int{},
+		reasons:     map[string]int{},
+		breakerSeen: map[string]int{},
+	}
+	deadline := time.Now().Add(o.duration)
+
+	// The health monitor watches the breaker ride through the fault
+	// schedule: open (or half-open) at some point, closed again afterwards.
+	monDone := make(chan struct{})
+	go func() {
+		defer close(monDone)
+		var wasOpen bool
+		for time.Now().Before(deadline) {
+			var h struct {
+				Status  string `json:"status"`
+				Breaker string `json:"breaker"`
+			}
+			if resp, err := client.Get(base + "/healthz"); err == nil {
+				json.NewDecoder(resp.Body).Decode(&h)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				st.mu.Lock()
+				if h.Breaker != "" {
+					st.breakerSeen[h.Breaker]++
+				}
+				if h.Status == "degraded" {
+					st.sawDegraded = true
+				}
+				switch h.Breaker {
+				case "open", "half-open":
+					wasOpen = true
+				case "closed":
+					if wasOpen {
+						st.recovered = true
+					}
+				}
+				st.mu.Unlock()
+			}
+			time.Sleep(250 * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < o.conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				app := o.apps[(w+i)%len(o.apps)]
+				body, _ := json.Marshal(map[string]any{"app": app, "dry_run": true})
+				resp, err := client.Post(base+"/v1/place", "application/json", bytes.NewReader(body))
+				if err != nil {
+					st.mu.Lock()
+					st.transport++
+					st.requests++
+					st.mu.Unlock()
+					continue
+				}
+				var out struct {
+					Tier   string `json:"tier"`
+					Reason string `json:"reason"`
+				}
+				json.NewDecoder(resp.Body).Decode(&out)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				st.mu.Lock()
+				st.requests++
+				st.status[resp.StatusCode]++
+				if resp.StatusCode == http.StatusOK {
+					if out.Tier != "local" && out.Tier != "remote" {
+						st.invalidTier++
+					}
+					reason := out.Reason
+					if reason == "" {
+						reason = "(none)"
+					}
+					st.reasons[reason]++
+				}
+				st.mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	<-monDone
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	fmt.Printf("chaos: %d requests over %s → %s\n", st.requests, o.duration, base)
+	codes := make([]int, 0, len(st.status))
+	for c := range st.status {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	fmt.Printf("status:")
+	for _, c := range codes {
+		fmt.Printf("  %d×%d", c, st.status[c])
+	}
+	if st.transport > 0 {
+		fmt.Printf("  transport-error×%d", st.transport)
+	}
+	fmt.Println()
+	reasons := make([]string, 0, len(st.reasons))
+	for r := range st.reasons {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	fmt.Printf("decision reasons:")
+	for _, r := range reasons {
+		fmt.Printf("  %s×%d", r, st.reasons[r])
+	}
+	fmt.Println()
+	fmt.Printf("breaker states observed on /healthz: %v (degraded seen: %v)\n",
+		st.breakerSeen, st.sawDegraded)
+
+	// The graceful-degradation contract.
+	failed := 0
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			fmt.Fprintf(os.Stderr, "chaos FAIL: "+format+"\n", args...)
+			failed++
+		}
+	}
+	bad := st.transport
+	for c, n := range st.status {
+		if c >= 500 {
+			bad += n
+		}
+	}
+	check(st.requests > 0, "no requests completed")
+	check(bad == 0, "%d request(s) hit a 5xx or transport error — degradation was not graceful", bad)
+	check(st.invalidTier == 0, "%d answered request(s) carried no valid placement tier", st.invalidTier)
+	check(st.sawDegraded, "service never reported degraded on /healthz despite the fault schedule")
+	check(st.breakerSeen["open"] > 0, "breaker never observed open on /healthz")
+	check(st.recovered, "breaker never observed closed again after opening — no recovery")
+	if failed > 0 {
+		return 1
+	}
+	fmt.Println("chaos: degradation graceful, breaker tripped and recovered")
+	return 0
+}

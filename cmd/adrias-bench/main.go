@@ -10,6 +10,12 @@
 //	adrias-bench -target http://127.0.0.1:7700 [-n 200] [-conc 8]
 //	             [-rate 0] [-apps gmm,redis,...] [-dry-run] [-deadline-ms 0]
 //	             [-dump-decisions]
+//	adrias-bench -target http://127.0.0.1:7700 -chaos [-chaos-duration 18s]
+//
+// -chaos switches the load generator into the chaos harness: sustained load
+// for the whole duration against a server started with -fault-spec,
+// asserting graceful degradation (every answer a valid placement, no 5xx,
+// circuit breaker observed open and then recovered on /healthz).
 package main
 
 import (
@@ -42,6 +48,8 @@ func run() int {
 	dryRunFlag := flag.Bool("dry-run", true, "load generator: decide without deploying on the testbed")
 	deadlineFlag := flag.Float64("deadline-ms", 0, "load generator: per-request deadline, ms (0: server default)")
 	dumpDecisionsFlag := flag.Bool("dump-decisions", false, "load generator: print the server's /debug/decisions audit log after the run")
+	chaosFlag := flag.Bool("chaos", false, "chaos harness: sustained load asserting graceful degradation (requires -target)")
+	chaosDurFlag := flag.Duration("chaos-duration", 18*time.Second, "chaos harness: load duration (must cover the server's fault schedule plus recovery)")
 	cpuprofileFlag := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofileFlag := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -53,12 +61,22 @@ func run() int {
 	}
 	defer stopProf()
 
+	if *chaosFlag && *targetFlag == "" {
+		fmt.Fprintln(os.Stderr, "-chaos requires -target")
+		return 2
+	}
 	if *targetFlag != "" {
 		var apps []string
 		for _, a := range strings.Split(*appsFlag, ",") {
 			if a = strings.TrimSpace(a); a != "" {
 				apps = append(apps, a)
 			}
+		}
+		if *chaosFlag {
+			return runChaos(chaosOpts{
+				target: *targetFlag, duration: *chaosDurFlag,
+				conc: *concFlag, apps: apps,
+			})
 		}
 		return runLoadGen(loadGenOpts{
 			target: *targetFlag, n: *nFlag, conc: *concFlag, rate: *rateFlag,

@@ -17,12 +17,21 @@
 //	             [-timeout 2s] [-tick 1s] [-sim-per-tick 1] [-ambient 0.08]
 //	             [-drain 10s] [-seed 1] [-debug-addr 127.0.0.1:7701]
 //	             [-bus-addr 127.0.0.1:7601]
+//	             [-fault-spec "predict-error@4+40;fabric-flap@8+24"]
+//	             [-breaker-threshold 5] [-breaker-cooldown 10] [-no-breaker]
 //
 // Without -models the fast offline phase trains a small model set first
 // (≈10 s). -debug-addr opens a second listener with the pprof surface
 // (/debug/pprof/). -bus-addr serves the in-process event bus over TCP so
 // external subscribers can follow decisions and monitoring samples live.
 // SIGINT/SIGTERM stops intake, drains admitted requests, and exits.
+//
+// -fault-spec arms the deterministic fault injector (chaos mode): a
+// semicolon-separated schedule of kind@start+duration[=param] events in
+// simulated seconds relative to serving start — see internal/faults. The
+// service keeps answering through injected faults on the graceful-degradation
+// path (circuit breaker + cached/safe-local fallbacks), reporting "degraded"
+// on /healthz while impaired.
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 
 	"adrias"
 	"adrias/internal/bus"
+	"adrias/internal/faults"
 	"adrias/internal/models"
 	"adrias/internal/profiling"
 	"adrias/internal/serve"
@@ -60,6 +70,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "testbed and ambient-load seed")
 	debugAddr := flag.String("debug-addr", "", "pprof listen address (empty: disabled)")
 	busAddr := flag.String("bus-addr", "", "TCP bus listen address for live decision/sample subscribers (empty: in-process only)")
+	faultSpec := flag.String("fault-spec", "", "fault-injection schedule, e.g. \"predict-error@4+40;fabric-flap@8+24\" (empty: no injection)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injector seed (NaN coin flips, replayable)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive predictor failures that trip the circuit breaker (0: default 5)")
+	breakerCooldown := flag.Float64("breaker-cooldown", 0, "simulated seconds an open breaker waits before half-open probing (0: default 10)")
+	noBreaker := flag.Bool("no-breaker", false, "disable the predictor circuit breaker (faults hit the decision path raw)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -83,6 +98,14 @@ func main() {
 	}
 	if *ambient < 0 {
 		fail("-ambient must be ≥ 0 (got %v)", *ambient)
+	}
+	var injector *faults.Injector
+	if *faultSpec != "" {
+		spec, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fail("%v", err)
+		}
+		injector = faults.NewInjector(spec, *faultSeed)
 	}
 
 	var sys *adrias.System
@@ -114,6 +137,12 @@ func main() {
 		AmbientRate: *ambient,
 		Seed:        *seed,
 		Bus:         events,
+		Faults:      injector,
+		Breaker: faults.BreakerConfig{
+			Threshold: *breakerThreshold,
+			Cooldown:  *breakerCooldown,
+		},
+		DisableBreaker: *noBreaker,
 	})
 	svc := serve.NewService(eng, serve.Config{
 		BatchWindow:    *batchWindow,
@@ -128,6 +157,10 @@ func main() {
 	eng.RegisterObs(tel)
 	events.RegisterMetrics(tel.Registry)
 	models.RegisterMetrics(tel.Registry)
+	if injector != nil {
+		injector.RegisterMetrics(tel.Registry)
+		fmt.Printf("chaos mode: fault schedule %q armed (seed %d)\n", *faultSpec, *faultSeed)
+	}
 
 	if *busAddr != "" {
 		busSrv, err := bus.NewServer(events, *busAddr)

@@ -158,7 +158,7 @@ func (p publishingScheduler) Name() string { return p.orch.Name() }
 
 func (p publishingScheduler) Decide(prof *workload.Profile, c *cluster.Cluster) memsys.Tier {
 	tier := p.orch.Decide(prof, c)
-	d := p.orch.Decisions[len(p.orch.Decisions)-1]
+	d, _ := p.orch.LastDecision()
 	payload := decisionPayload{
 		App: d.App, Class: d.Class.String(), Tier: tier.String(),
 		PredLocal: d.PredLocal, PredRem: d.PredRem, ColdStart: d.ColdStart,

@@ -54,8 +54,9 @@ func main() {
 
 	// First arrival: unknown signature → cold start on remote + capture.
 	tier := orch.Decide(custom, c)
+	first, _ := orch.LastDecision()
 	fmt.Printf("first deployment of %q → %s (cold start: %v)\n",
-		custom.Name, tier, orch.Decisions[len(orch.Decisions)-1].ColdStart)
+		custom.Name, tier, first.ColdStart)
 	in := c.Deploy(custom, tier)
 	for !in.Done() {
 		c.Run(c.Now() + 60)
@@ -66,7 +67,7 @@ func main() {
 
 	// Second arrival: Adrias now predicts both tiers.
 	tier = orch.Decide(custom, c)
-	d := orch.Decisions[len(orch.Decisions)-1]
+	d, _ := orch.LastDecision()
 	fmt.Printf("second deployment → %s (t̂_local %.1f s, t̂_remote %.1f s, β=%.1f)\n",
 		tier, d.PredLocal, d.PredRem, orch.Beta)
 	fmt.Println("\nnote: predictions for never-trained applications are rough (paper Fig. 15) —")

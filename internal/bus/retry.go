@@ -1,0 +1,187 @@
+package bus
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"adrias/internal/randutil"
+)
+
+// RetryConfig shapes the exponential backoff used when dialing or publishing
+// to a bus server that may be down. Delays grow as BaseDelay·Multiplier^n,
+// capped at MaxDelay, with a deterministic seeded jitter of ±Jitter applied
+// to each one — so a fleet of clients restarted together does not hammer the
+// server in lockstep, yet a given seed replays the exact same schedule.
+type RetryConfig struct {
+	// MaxAttempts bounds the total number of tries (dial or publish). After
+	// the last one fails the call gives up and returns the last error; it
+	// never blocks forever.
+	MaxAttempts int
+	// BaseDelay is the wait after the first failure.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown delay.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts.
+	Multiplier float64
+	// Jitter is the ± fraction applied to every delay (0.2 → ±20 %).
+	Jitter float64
+	// Seed feeds the jitter stream; a fixed seed makes backoff replayable.
+	Seed int64
+	// Sleep is injectable for tests; nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetry is the backoff used when a field is left zero: 5 attempts,
+// 100 ms doubling to at most 5 s, ±20 % jitter.
+var DefaultRetry = RetryConfig{
+	MaxAttempts: 5,
+	BaseDelay:   100 * time.Millisecond,
+	MaxDelay:    5 * time.Second,
+	Multiplier:  2,
+	Jitter:      0.2,
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = DefaultRetry.MaxAttempts
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = DefaultRetry.BaseDelay
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = DefaultRetry.MaxDelay
+	}
+	if c.Multiplier < 1 {
+		c.Multiplier = DefaultRetry.Multiplier
+	}
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		c.Jitter = DefaultRetry.Jitter
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	return c
+}
+
+// delay returns the jittered backoff before attempt n+1 (n counts failures
+// so far, starting at 0).
+func (c RetryConfig) delay(rng *randutil.Source, n int) time.Duration {
+	d := float64(c.BaseDelay)
+	for i := 0; i < n; i++ {
+		d *= c.Multiplier
+		if d >= float64(c.MaxDelay) {
+			d = float64(c.MaxDelay)
+			break
+		}
+	}
+	return time.Duration(rng.Jitter(d, c.Jitter))
+}
+
+// DialRetry dials a bus server with exponential backoff, giving up cleanly
+// with the last dial error after cfg.MaxAttempts tries.
+func DialRetry(addr string, cfg RetryConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	rng := randutil.New(cfg.Seed)
+	var lastErr error
+	for n := 0; n < cfg.MaxAttempts; n++ {
+		if n > 0 {
+			cfg.Sleep(cfg.delay(rng, n-1))
+		}
+		cli, err := Dial(addr)
+		if err == nil {
+			return cli, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("bus: dial %s: giving up after %d attempts: %w",
+		addr, cfg.MaxAttempts, lastErr)
+}
+
+// PublisherStats counts a Publisher's lifetime outcomes.
+type PublisherStats struct {
+	Published uint64 // frames successfully handed to a live connection
+	Retries   uint64 // backoff sleeps taken (dial or publish failures)
+	GiveUps   uint64 // Publish calls that exhausted MaxAttempts
+}
+
+// Publisher is a reconnecting TCP publisher: each Publish (re)dials the
+// server as needed and retries with the configured backoff, then gives up
+// cleanly — an unreachable server costs a bounded error, never a hang or a
+// panic, and the next Publish starts a fresh attempt cycle. Safe for
+// concurrent use; calls are serialized.
+type Publisher struct {
+	addr string
+	cfg  RetryConfig
+	rng  *randutil.Source
+
+	mu     sync.Mutex
+	cli    *Client
+	closed bool
+	stats  PublisherStats
+}
+
+// NewPublisher prepares a publisher for addr; no connection is made until
+// the first Publish.
+func NewPublisher(addr string, cfg RetryConfig) *Publisher {
+	cfg = cfg.withDefaults()
+	return &Publisher{addr: addr, cfg: cfg, rng: randutil.New(cfg.Seed)}
+}
+
+// Publish sends one message, redialing with backoff on failure. It returns
+// nil once a frame was written to a live connection, or the last error after
+// MaxAttempts tries.
+func (p *Publisher) Publish(topic string, payload any) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("bus: publish on closed publisher")
+	}
+	var lastErr error
+	for n := 0; n < p.cfg.MaxAttempts; n++ {
+		if n > 0 {
+			p.stats.Retries++
+			p.cfg.Sleep(p.cfg.delay(p.rng, n-1))
+		}
+		if p.cli == nil {
+			cli, err := Dial(p.addr)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			p.cli = cli
+		}
+		if err := p.cli.Publish(topic, payload); err != nil {
+			lastErr = err
+			p.cli.Close()
+			p.cli = nil
+			continue
+		}
+		p.stats.Published++
+		return nil
+	}
+	p.stats.GiveUps++
+	return fmt.Errorf("bus: publish %q to %s: giving up after %d attempts: %w",
+		topic, p.addr, p.cfg.MaxAttempts, lastErr)
+}
+
+// Stats returns the publisher's lifetime counters.
+func (p *Publisher) Stats() PublisherStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Close tears down the current connection, if any. Publish afterwards fails
+// immediately.
+func (p *Publisher) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	if p.cli != nil {
+		err := p.cli.Close()
+		p.cli = nil
+		return err
+	}
+	return nil
+}

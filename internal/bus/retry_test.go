@@ -1,0 +1,197 @@
+package bus
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// deadAddr returns a loopback address with nothing listening on it.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestClientPublishRoundTrip: a TCP client's Publish lands on the server's
+// bus and reaches both an in-process subscriber and another TCP subscriber.
+func TestClientPublishRoundTrip(t *testing.T) {
+	b := New()
+	srv, err := NewServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	local, cancel := b.Subscribe("metrics")
+	defer cancel()
+
+	sub, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	remote, err := sub.Subscribe("metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The "sub" frame travels on a different connection than the publish:
+	// wait until the server has registered it.
+	for deadline := time.Now().Add(2 * time.Second); b.SubscriberCount("metrics") < 2; {
+		if time.Now().After(deadline) {
+			t.Fatalf("remote subscription never registered (%d subs)", b.SubscriberCount("metrics"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	pub, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish("metrics", sample{LLCLoads: 9.5, Tick: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, ch := range []<-chan Message{local, remote} {
+		var got sample
+		if err := recv(t, ch).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		if got.LLCLoads != 9.5 || got.Tick != 3 {
+			t.Errorf("payload = %+v", got)
+		}
+	}
+}
+
+// TestDialRetryGivesUpCleanly: with the peer down for good, DialRetry backs
+// off the configured number of times and returns the last error — bounded,
+// no hang.
+func TestDialRetryGivesUpCleanly(t *testing.T) {
+	var slept []time.Duration
+	cfg := RetryConfig{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    40 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      0.2,
+		Seed:        1,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	cli, err := DialRetry(deadAddr(t), cfg)
+	if err == nil {
+		cli.Close()
+		t.Fatal("dial of a dead peer must fail")
+	}
+	if !strings.Contains(err.Error(), "giving up after 4 attempts") {
+		t.Errorf("error = %v", err)
+	}
+	if len(slept) != 3 { // one sleep between each of the 4 attempts
+		t.Fatalf("slept %d times, want 3", len(slept))
+	}
+	// Exponential growth within the ±20 % jitter band, capped at MaxDelay.
+	for i, want := range []time.Duration{10, 20, 40} {
+		lo := time.Duration(float64(want*time.Millisecond) * 0.8)
+		hi := time.Duration(float64(want*time.Millisecond) * 1.2)
+		if slept[i] < lo || slept[i] > hi {
+			t.Errorf("delay %d = %v, want within [%v, %v]", i, slept[i], lo, hi)
+		}
+	}
+}
+
+// TestRetryDelayDeterministic: a fixed seed replays the exact backoff
+// schedule.
+func TestRetryDelayDeterministic(t *testing.T) {
+	schedule := func() []time.Duration {
+		var slept []time.Duration
+		cfg := RetryConfig{
+			MaxAttempts: 5,
+			BaseDelay:   time.Millisecond,
+			Seed:        42,
+			Sleep:       func(d time.Duration) { slept = append(slept, d) },
+		}
+		DialRetry(deadAddr(t), cfg)
+		return slept
+	}
+	a, b := schedule(), schedule()
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("schedules: %v %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("delay %d: %v vs %v — jitter not replayable", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPublisherBackoffGivesUpCleanly is the regression test for satellite 5:
+// with the peer down, Publish retries with backoff, then gives up with a
+// bounded error (no panic, no hang) — and a later Publish succeeds once the
+// server comes back.
+func TestPublisherBackoffGivesUpCleanly(t *testing.T) {
+	addr := deadAddr(t)
+	var slept int
+	p := NewPublisher(addr, RetryConfig{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		Seed:        7,
+		Sleep:       func(time.Duration) { slept++ },
+	})
+	defer p.Close()
+
+	err := p.Publish("metrics", sample{Tick: 1})
+	if err == nil {
+		t.Fatal("publish to a dead peer must fail")
+	}
+	if !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Errorf("error = %v", err)
+	}
+	if slept != 2 {
+		t.Errorf("slept %d times, want 2", slept)
+	}
+	if s := p.Stats(); s.GiveUps != 1 || s.Retries != 2 || s.Published != 0 {
+		t.Errorf("stats after give-up = %+v", s)
+	}
+
+	// Server comes back on the same address: the next Publish redials and
+	// delivers.
+	b := New()
+	srv, err := NewServer(b, addr)
+	if err != nil {
+		t.Skipf("address %s no longer free: %v", addr, err)
+	}
+	defer srv.Close()
+	ch, cancel := b.Subscribe("metrics")
+	defer cancel()
+	if err := p.Publish("metrics", sample{Tick: 2}); err != nil {
+		t.Fatalf("publish after recovery: %v", err)
+	}
+	var got sample
+	if err := recv(t, ch).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Tick != 2 {
+		t.Errorf("payload = %+v", got)
+	}
+	if s := p.Stats(); s.Published != 1 {
+		t.Errorf("stats after recovery = %+v", s)
+	}
+}
+
+// TestPublisherClosed: Publish on a closed publisher fails immediately
+// without dialing.
+func TestPublisherClosed(t *testing.T) {
+	p := NewPublisher(deadAddr(t), RetryConfig{Sleep: func(time.Duration) {
+		t.Error("closed publisher must not back off")
+	}})
+	p.Close()
+	if err := p.Publish("metrics", 1); err == nil {
+		t.Fatal("publish on closed publisher must fail")
+	}
+}

@@ -14,13 +14,15 @@ import (
 
 // The TCP wire protocol: each frame is a 4-byte big-endian length followed
 // by a JSON document. Client → server frames are control requests
-// ({"op":"sub","topic":...}); server → client frames are Messages.
+// ({"op":"sub","topic":...}, {"op":"pub","topic":...,"payload":...});
+// server → client frames are Messages.
 
 const maxFrame = 16 << 20 // 16 MiB sanity cap
 
 type controlFrame struct {
-	Op    string `json:"op"` // "sub" or "unsub"
-	Topic string `json:"topic"`
+	Op      string          `json:"op"` // "sub", "unsub" or "pub"
+	Topic   string          `json:"topic"`
+	Payload json.RawMessage `json:"payload,omitempty"` // "pub" only
 }
 
 func writeFrame(w io.Writer, v any) error {
@@ -211,6 +213,12 @@ func (s *Server) serveConn(conn net.Conn) {
 				cancel()
 				delete(cancels, cf.Topic)
 			}
+		case "pub":
+			// Remote publish: inject onto the local bus so in-process
+			// subscribers and every other TCP client see it.
+			if _, err := s.bus.Publish(cf.Topic, cf.Payload); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -266,13 +274,23 @@ func (c *Client) readLoop() {
 	}
 }
 
-func (c *Client) sendControl(op, topic string) error {
+func (c *Client) sendControl(cf controlFrame) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeFrame(c.enc, controlFrame{Op: op, Topic: topic}); err != nil {
+	if err := writeFrame(c.enc, cf); err != nil {
 		return err
 	}
 	return c.enc.Flush()
+}
+
+// Publish JSON-encodes payload and sends it to the server, which injects it
+// onto its bus for all subscribers (in-process and TCP alike).
+func (c *Client) Publish(topic string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("bus: encoding payload for %q: %w", topic, err)
+	}
+	return c.sendControl(controlFrame{Op: "pub", Topic: topic, Payload: raw})
 }
 
 // Subscribe asks the server for a topic and returns the delivery channel.
@@ -290,7 +308,7 @@ func (c *Client) Subscribe(topic string) (<-chan Message, error) {
 	ch := make(chan Message, 64)
 	c.subs[topic] = ch
 	c.subMu.Unlock()
-	if err := c.sendControl("sub", topic); err != nil {
+	if err := c.sendControl(controlFrame{Op: "sub", Topic: topic}); err != nil {
 		return nil, err
 	}
 	return ch, nil

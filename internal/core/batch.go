@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 
 	"adrias/internal/cluster"
 	"adrias/internal/mathx"
@@ -94,6 +96,13 @@ func (p *Predictor) PredictPerfBatch(ctx context.Context, queries []PerfQuery, w
 	return preds, errs
 }
 
+// finitePred reports whether v is a usable prediction: finite and
+// positive. NaN/Inf model outputs (numeric blowups, injected faults) must
+// never reach a tier decision; they classify as ReasonPredictError.
+func finitePred(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}
+
 // DecideBatch decides the tier of every profile against the same history
 // window, coalescing all model work: one Watcher window, one Ŝ forecast,
 // and one batched inference per performance model, instead of up to three
@@ -102,15 +111,22 @@ func (p *Predictor) PredictPerfBatch(ctx context.Context, queries []PerfQuery, w
 // evaluated against the pool state at decision time for every profile, so
 // a batch whose combined footprint overflows a pool relies on the
 // cluster's deploy-time fallback, exactly as racing single decisions
-// would. Decisions are recorded in order, each carrying the Reason that
-// produced its tier.
+// would. Decisions are recorded in order (bounded retention, exact running
+// Stats), each carrying the Reason that produced its tier, and returned to
+// the caller.
+//
+// Degraded modes: a per-query ErrBreakerOpen (the predictor circuit
+// breaker short-circuited) classifies as ReasonBreakerOpen and still uses
+// cached last-good predictions when the breaker delivered them; non-finite
+// predictions classify as ReasonPredictError; and when FabricDegraded
+// reports an impaired link, every remote verdict — including cold starts —
+// degrades to the safe local tier with ReasonFabricDegraded.
 //
 // ctx carries the observability plumbing: an obs.SpanRecorder (when
 // present) receives the "signature_lookup", model-prediction and "decide"
 // stage spans.
-func (o *Orchestrator) DecideBatch(ctx context.Context, profiles []*workload.Profile, c *cluster.Cluster) []memsys.Tier {
+func (o *Orchestrator) DecideBatch(ctx context.Context, profiles []*workload.Profile, c *cluster.Cluster) []Decision {
 	n := len(profiles)
-	tiers := make([]memsys.Tier, n)
 	ds := make([]Decision, n)
 	window := o.Watch.Window(c)
 
@@ -142,8 +158,11 @@ func (o *Orchestrator) DecideBatch(ctx context.Context, profiles []*workload.Pro
 	var preds mathx.Vector
 	var errs []error
 	if len(queries) > 0 {
-		preds, errs = o.Pred.PredictPerfBatch(ctx, queries, window)
+		preds, errs = o.inference().PredictPerfBatch(ctx, queries, window)
 	}
+
+	// One link-state read per batch: the fabric does not change mid-decide.
+	fabricDown := o.FabricDegraded != nil && o.FabricDegraded()
 
 	endDecide := obs.StartSpan(ctx, "decide")
 	for i, p := range profiles {
@@ -153,11 +172,6 @@ func (o *Orchestrator) DecideBatch(ctx context.Context, profiles []*workload.Pro
 			// Cold start: unknown signature → deploy remote, capture metrics.
 			d.Tier = memsys.TierRemote
 			d.Reason = ReasonColdStart
-			if !c.CanFit(p, memsys.TierRemote) {
-				d.Tier = memsys.TierLocal
-				d.Fallback = true
-				d.Reason = ReasonCapacity
-			}
 		case qStart[i] < 0:
 			// Not enough monitoring history yet: default to the safe tier.
 			d.Tier = memsys.TierLocal
@@ -165,11 +179,23 @@ func (o *Orchestrator) DecideBatch(ctx context.Context, profiles []*workload.Pro
 			d.Reason = ReasonNoHistory
 		case p.Class == workload.LatencyCritical:
 			q := qStart[i]
-			if errs[q] != nil {
+			switch {
+			case errors.Is(errs[q], ErrBreakerOpen):
+				// Breaker open: cached last-good prediction when the
+				// wrapper delivered one, safe local otherwise.
+				d.Fallback = true
+				d.Reason = ReasonBreakerOpen
+				d.Tier = memsys.TierLocal
+				if finitePred(preds[q]) {
+					d.PredRem = preds[q]
+					qos, ok := o.QoSMs[p.Name]
+					d.Tier = DecideLC(qos, ok, preds[q])
+				}
+			case errs[q] != nil || !finitePred(preds[q]):
 				d.Tier = memsys.TierLocal
 				d.Fallback = true
 				d.Reason = ReasonPredictError
-			} else {
+			default:
 				d.PredRem = preds[q]
 				qos, ok := o.QoSMs[p.Name]
 				d.Tier = DecideLC(qos, ok, preds[q])
@@ -181,27 +207,44 @@ func (o *Orchestrator) DecideBatch(ctx context.Context, profiles []*workload.Pro
 			}
 		default: // best-effort
 			q := qStart[i]
-			if errs[q] != nil || errs[q+1] != nil {
+			switch {
+			case errors.Is(errs[q], ErrBreakerOpen) || errors.Is(errs[q+1], ErrBreakerOpen):
+				d.Fallback = true
+				d.Reason = ReasonBreakerOpen
+				d.Tier = memsys.TierLocal
+				if finitePred(preds[q]) && finitePred(preds[q+1]) {
+					d.PredLocal, d.PredRem = preds[q], preds[q+1]
+					d.Tier = DecideBE(o.Beta, preds[q], preds[q+1])
+				}
+			case errs[q] != nil || errs[q+1] != nil || !finitePred(preds[q]) || !finitePred(preds[q+1]):
 				d.Tier = memsys.TierLocal
 				d.Fallback = true
 				d.Reason = ReasonPredictError
-			} else {
+			default:
 				d.PredLocal, d.PredRem = preds[q], preds[q+1]
 				d.Tier = DecideBE(o.Beta, preds[q], preds[q+1])
 				d.Reason = ReasonBESlack
 			}
 		}
+		// Graceful degradation: while the fabric is impaired no new load
+		// goes remote — even cold starts wait on local for a healthy link.
+		if d.Tier == memsys.TierRemote && fabricDown {
+			d.Tier = memsys.TierLocal
+			d.Fallback = true
+			d.Reason = ReasonFabricDegraded
+		}
 		// A remote verdict against a full pool degrades to local (the
 		// cluster would redirect anyway; deciding here keeps the
-		// bookkeeping honest). Cold starts already ran their own check.
-		if !d.ColdStart && d.Tier == memsys.TierRemote && !c.CanFit(p, memsys.TierRemote) {
+		// bookkeeping honest).
+		if d.Tier == memsys.TierRemote && !c.CanFit(p, memsys.TierRemote) {
 			d.Tier = memsys.TierLocal
 			d.Fallback = true
 			d.Reason = ReasonCapacity
 		}
-		tiers[i] = d.Tier
 	}
 	endDecide()
-	o.Decisions = append(o.Decisions, ds...)
-	return tiers
+	for _, d := range ds {
+		o.record(d)
+	}
+	return ds
 }

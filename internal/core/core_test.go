@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -230,18 +231,18 @@ func TestOrchestratorEndToEnd(t *testing.T) {
 	}
 	// With all examined-app signatures present, only iBench arrivals (which
 	// Adrias has never seen) may cold-start.
-	for _, d := range orch.Decisions {
+	for _, d := range orch.Decisions() {
 		if d.ColdStart && d.Class != workload.Interference {
 			t.Errorf("unexpected cold start for examined app %s", d.App)
 		}
 	}
 	// Early decisions (before 60 ticks of history) are local fallbacks.
-	if orch.Decisions[0].Fallback != true && orch.Decisions[0].ColdStart != true {
+	if orch.Decisions()[0].Fallback != true && orch.Decisions()[0].ColdStart != true {
 		t.Error("first decision should be a fallback (no history yet)")
 	}
 	// Predictions must be recorded for non-fallback BE decisions.
 	sawPred := false
-	for _, d := range orch.Decisions {
+	for _, d := range orch.Decisions() {
 		if d.Class == workload.BestEffort && !d.Fallback && !d.ColdStart {
 			if d.PredLocal <= 0 || d.PredRem <= 0 {
 				t.Errorf("BE decision for %s lacks predictions: %+v", d.App, d)
@@ -274,7 +275,7 @@ func TestOrchestratorColdStart(t *testing.T) {
 		t.Fatal("expected cold starts with an empty signature store")
 	}
 	// Cold-started apps went remote.
-	for _, d := range orch.Decisions {
+	for _, d := range orch.Decisions() {
 		if d.ColdStart && d.Tier != memsys.TierRemote {
 			t.Errorf("cold start for %s placed on %v", d.App, d.Tier)
 		}
@@ -300,7 +301,7 @@ func TestOrchestratorQoSGate(t *testing.T) {
 	if _, err := scenario.Run(cfg, registry, strict.Decide); err != nil {
 		t.Fatal(err)
 	}
-	for _, d := range strict.Decisions {
+	for _, d := range strict.Decisions() {
 		if d.Class == workload.LatencyCritical && d.Tier == memsys.TierRemote {
 			t.Errorf("LC %s offloaded despite impossible QoS", d.App)
 		}
@@ -409,8 +410,66 @@ func TestOrchestratorCapacityGate(t *testing.T) {
 	if tier != memsys.TierLocal {
 		t.Errorf("full remote pool should force local, got %v", tier)
 	}
-	d := orch.Decisions[len(orch.Decisions)-1]
+	d, _ := orch.LastDecision()
 	if d.Tier == memsys.TierRemote {
 		t.Error("decision bookkeeping disagrees with returned tier")
+	}
+}
+
+// TestDecisionRetentionBounded is the regression test for the unbounded
+// decision-list memory leak: retention is capped (drop-oldest ring) while
+// TotalDecisions and Stats stay exact via running counters.
+func TestDecisionRetentionBounded(t *testing.T) {
+	o := &Orchestrator{MaxDecisions: 8}
+	const n = 100
+	for i := 0; i < n; i++ {
+		d := Decision{App: fmt.Sprintf("app-%d", i)}
+		if i%2 == 0 {
+			d.Tier = memsys.TierRemote
+		}
+		if i%5 == 0 {
+			d.ColdStart = true
+		}
+		if i%10 == 0 {
+			d.Fallback = true
+		}
+		o.record(d)
+	}
+	ds := o.Decisions()
+	if len(ds) != 8 {
+		t.Fatalf("retained %d decisions, want 8", len(ds))
+	}
+	// Oldest-first: the ring holds exactly the last 8.
+	for i, d := range ds {
+		if want := fmt.Sprintf("app-%d", n-8+i); d.App != want {
+			t.Errorf("retained[%d] = %s, want %s", i, d.App, want)
+		}
+	}
+	last, ok := o.LastDecision()
+	if !ok || last.App != "app-99" {
+		t.Errorf("LastDecision = %+v, %v", last, ok)
+	}
+	if o.TotalDecisions() != n {
+		t.Errorf("TotalDecisions = %d, want %d", o.TotalDecisions(), n)
+	}
+	// Stats count everything ever recorded, not just the retained window.
+	s := o.Stats()
+	if s.Total != n || s.Remote != 50 || s.Cold != 20 || s.Fallback != 10 {
+		t.Errorf("stats = %+v, want {100 50 20 10}", s)
+	}
+}
+
+// TestDecisionRetentionDefaultCap: the zero-value bound falls back to
+// DefaultMaxDecisions.
+func TestDecisionRetentionDefaultCap(t *testing.T) {
+	o := &Orchestrator{}
+	for i := 0; i < DefaultMaxDecisions+10; i++ {
+		o.record(Decision{})
+	}
+	if got := len(o.Decisions()); got != DefaultMaxDecisions {
+		t.Errorf("retained %d, want %d", got, DefaultMaxDecisions)
+	}
+	if o.TotalDecisions() != DefaultMaxDecisions+10 {
+		t.Errorf("total = %d", o.TotalDecisions())
 	}
 }

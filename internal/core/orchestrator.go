@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"adrias/internal/cluster"
+	"adrias/internal/mathx"
 	"adrias/internal/memsys"
 	"adrias/internal/workload"
 )
@@ -16,7 +18,8 @@ const (
 	ReasonColdStart = "cold-start"
 	// ReasonNoHistory: monitoring window not full yet → safe local default.
 	ReasonNoHistory = "no-history"
-	// ReasonPredictError: the predictor failed → safe local default.
+	// ReasonPredictError: the predictor failed (error or non-finite output)
+	// → safe local default.
 	ReasonPredictError = "predict-error"
 	// ReasonBESlack: the best-effort β-slack rule decided.
 	ReasonBESlack = "be-slack"
@@ -26,7 +29,30 @@ const (
 	ReasonLCNoQoS = "lc-no-qos"
 	// ReasonCapacity: a remote verdict degraded to local on a full pool.
 	ReasonCapacity = "capacity"
+	// ReasonBreakerOpen: the predictor circuit breaker short-circuited the
+	// inference; the tier came from cached last-good predictions when
+	// available, the safe local default otherwise.
+	ReasonBreakerOpen = "breaker-open"
+	// ReasonFabricDegraded: the ThymesisFlow link is impaired (flap,
+	// bandwidth clamp, latency inflation), so a remote verdict degraded to
+	// the safe local tier.
+	ReasonFabricDegraded = "fabric-degraded"
 )
+
+// ErrBreakerOpen marks per-query prediction errors produced while the
+// predictor circuit breaker is open (see internal/faults). DecideBatch
+// classifies decisions carrying it as ReasonBreakerOpen rather than
+// ReasonPredictError, and still uses any cached last-good prediction the
+// breaker wrapper delivered alongside the error.
+var ErrBreakerOpen = errors.New("core: predictor circuit breaker open")
+
+// PerfInference is the batched prediction surface DecideBatch consumes.
+// *Predictor implements it directly; wrappers (fault injection, circuit
+// breaking — internal/faults) stack on top without the orchestrator
+// knowing.
+type PerfInference interface {
+	PredictPerfBatch(ctx context.Context, queries []PerfQuery, window []mathx.Vector) (mathx.Vector, []error)
+}
 
 // Decision records one orchestration decision for later analysis.
 type Decision struct {
@@ -39,6 +65,12 @@ type Decision struct {
 	Fallback  bool    // true when prediction failed and the safe default won
 	Reason    string  // which rule produced the tier (Reason* constants)
 }
+
+// DefaultMaxDecisions bounds the orchestrator's retained decision list when
+// MaxDecisions is unset. Retention here is for in-process analysis
+// (examples, experiments, tests); the serve layer's audit ring is the
+// operator-facing record.
+const DefaultMaxDecisions = 4096
 
 // Orchestrator is the Adrias scheduler (paper §V-C). For best-effort
 // applications it picks local memory iff
@@ -56,7 +88,23 @@ type Orchestrator struct {
 	QoSMs   map[string]float64 // per-LC-app p99 constraint, milliseconds
 	Capture bool               // capture signatures of first-seen apps
 
-	Decisions []Decision
+	// Infer overrides the prediction path; nil uses Pred directly. Set it
+	// to stack fault injection or a circuit breaker over the predictor.
+	Infer PerfInference
+	// FabricDegraded, when set, reports whether the ThymesisFlow link is
+	// currently impaired; remote verdicts then degrade to the safe local
+	// tier with ReasonFabricDegraded. Consulted once per DecideBatch.
+	FabricDegraded func() bool
+	// MaxDecisions bounds the retained decision list (≤0: the
+	// DefaultMaxDecisions cap). Set before the first decision; the bound is
+	// fixed once recording starts. Retention is drop-oldest; Stats stays
+	// exact through running counters.
+	MaxDecisions int
+
+	ring  []Decision // bounded retention, ring once full
+	start int        // index of the oldest retained decision
+	total uint64     // decisions ever recorded
+	stats OffloadStats
 }
 
 // NewOrchestrator builds the Adrias scheduler.
@@ -76,12 +124,69 @@ func NewOrchestrator(pred *Predictor, watch *Watcher, beta float64) *Orchestrato
 // Name implements Scheduler.
 func (o *Orchestrator) Name() string { return fmt.Sprintf("adrias(β=%g)", o.Beta) }
 
+// inference returns the active prediction path.
+func (o *Orchestrator) inference() PerfInference {
+	if o.Infer != nil {
+		return o.Infer
+	}
+	return o.Pred
+}
+
+// record retains one decision (drop-oldest past the bound) and feeds the
+// running stats counters, which stay exact regardless of retention.
+func (o *Orchestrator) record(d Decision) {
+	o.total++
+	o.stats.Total++
+	if d.Tier == memsys.TierRemote {
+		o.stats.Remote++
+	}
+	if d.ColdStart {
+		o.stats.Cold++
+	}
+	if d.Fallback {
+		o.stats.Fallback++
+	}
+	max := o.MaxDecisions
+	if max <= 0 {
+		max = DefaultMaxDecisions
+	}
+	if len(o.ring) < max {
+		o.ring = append(o.ring, d)
+		return
+	}
+	o.ring[o.start] = d
+	o.start = (o.start + 1) % len(o.ring)
+}
+
+// Decisions returns a copy of the retained decisions, oldest first. At most
+// MaxDecisions (default DefaultMaxDecisions) are kept; TotalDecisions
+// counts everything ever recorded.
+func (o *Orchestrator) Decisions() []Decision {
+	out := make([]Decision, 0, len(o.ring))
+	for i := 0; i < len(o.ring); i++ {
+		out = append(out, o.ring[(o.start+i)%len(o.ring)])
+	}
+	return out
+}
+
+// LastDecision returns the most recent decision, if any.
+func (o *Orchestrator) LastDecision() (Decision, bool) {
+	if len(o.ring) == 0 {
+		return Decision{}, false
+	}
+	return o.ring[(o.start+len(o.ring)-1)%len(o.ring)], true
+}
+
+// TotalDecisions returns the number of decisions ever recorded, unaffected
+// by retention.
+func (o *Orchestrator) TotalDecisions() uint64 { return o.total }
+
 // Decide implements Scheduler. It is the single-application case of
 // DecideBatch: cold start → remote + capture, no history → safe local,
 // otherwise the β-slack rule (BE) or QoS gate (LC) over the predictor,
 // degraded to local when the remote pool cannot fit the footprint.
 func (o *Orchestrator) Decide(p *workload.Profile, c *cluster.Cluster) memsys.Tier {
-	return o.DecideBatch(context.Background(), []*workload.Profile{p}, c)[0]
+	return o.DecideBatch(context.Background(), []*workload.Profile{p}, c)[0].Tier
 }
 
 // DecideBE applies the paper's best-effort rule: local iff
@@ -126,20 +231,7 @@ type OffloadStats struct {
 	Total, Remote, Cold, Fallback int
 }
 
-// Stats computes summary statistics over recorded decisions.
-func (o *Orchestrator) Stats() OffloadStats {
-	var s OffloadStats
-	for _, d := range o.Decisions {
-		s.Total++
-		if d.Tier == memsys.TierRemote {
-			s.Remote++
-		}
-		if d.ColdStart {
-			s.Cold++
-		}
-		if d.Fallback {
-			s.Fallback++
-		}
-	}
-	return s
-}
+// Stats returns summary statistics over every decision ever made. The
+// counters run alongside recording, so they stay exact even after the
+// retained list drops old entries.
+func (o *Orchestrator) Stats() OffloadStats { return o.stats }

@@ -1,0 +1,176 @@
+package faults
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a circuit-breaker state.
+type State int
+
+const (
+	// Closed: calls flow through; consecutive failures are counted.
+	Closed State = iota
+	// Open: calls are short-circuited until the cooldown elapses.
+	Open
+	// HalfOpen: a limited number of probe calls test whether the
+	// dependency recovered.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes the circuit breaker. The zero value selects the
+// defaults.
+type BreakerConfig struct {
+	// Threshold is K: consecutive failures that trip the breaker
+	// (default 5).
+	Threshold int
+	// LatencyBudget is the per-call wall-time budget; a slower call counts
+	// as a failure even when it succeeds (0 disables the budget).
+	LatencyBudget time.Duration
+	// Cooldown is how long (in Clock seconds) the breaker stays open before
+	// allowing a half-open probe (default 10).
+	Cooldown float64
+	// HalfOpenProbes is how many consecutive probe successes close the
+	// breaker again (default 1).
+	HalfOpenProbes int
+	// Clock supplies monotonically non-decreasing seconds (any epoch). The
+	// serve engine wires the testbed's simulated clock so chaos runs are
+	// deterministic; nil falls back to the wall clock.
+	Clock func() float64
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Clock == nil {
+		start := time.Now()
+		c.Clock = func() float64 { return time.Since(start).Seconds() }
+	}
+	return c
+}
+
+// BreakerCounters is a snapshot of the breaker's lifetime counters.
+type BreakerCounters struct {
+	Trips          uint64 // closed/half-open → open transitions
+	Recoveries     uint64 // half-open → closed transitions
+	ShortCircuited uint64 // calls rejected while open
+	Failures       uint64 // recorded failures (incl. budget breaches)
+	Successes      uint64 // recorded successes
+}
+
+// Breaker is a circuit breaker: Allow gates each call, Record reports its
+// outcome. After Threshold consecutive failures (errors or latency-budget
+// breaches) the breaker opens; once Cooldown elapses a call is admitted as a
+// half-open probe, and HalfOpenProbes consecutive probe successes close the
+// breaker while any probe failure re-opens it. Safe for concurrent use.
+type Breaker struct {
+	mu          sync.Mutex
+	cfg         BreakerConfig
+	state       State
+	consecFails int
+	probeOK     int
+	openedAt    float64
+	ctrs        BreakerCounters
+}
+
+// NewBreaker builds a breaker with the given configuration.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a call may proceed. While open it returns false
+// (counting a short-circuit) until the cooldown elapses, at which point the
+// breaker moves to half-open and admits probes.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed, HalfOpen:
+		return true
+	default: // Open
+		if b.cfg.Clock()-b.openedAt >= b.cfg.Cooldown {
+			b.state = HalfOpen
+			b.probeOK = 0
+			return true
+		}
+		b.ctrs.ShortCircuited++
+		return false
+	}
+}
+
+// Record reports the outcome of an allowed call: err and, when a
+// LatencyBudget is configured, the call's wall duration. A nil error within
+// budget is a success; anything else is a failure.
+func (b *Breaker) Record(err error, dur time.Duration) {
+	fail := err != nil || (b.cfg.LatencyBudget > 0 && dur > b.cfg.LatencyBudget)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if fail {
+		b.ctrs.Failures++
+		switch b.state {
+		case HalfOpen:
+			b.trip()
+		case Closed:
+			b.consecFails++
+			if b.consecFails >= b.cfg.Threshold {
+				b.trip()
+			}
+		}
+		return
+	}
+	b.ctrs.Successes++
+	switch b.state {
+	case HalfOpen:
+		b.probeOK++
+		if b.probeOK >= b.cfg.HalfOpenProbes {
+			b.state = Closed
+			b.consecFails = 0
+			b.ctrs.Recoveries++
+		}
+	case Closed:
+		b.consecFails = 0
+	}
+}
+
+// trip opens the breaker. Callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.cfg.Clock()
+	b.consecFails = 0
+	b.probeOK = 0
+	b.ctrs.Trips++
+}
+
+// State returns the breaker's current state. It does not advance the
+// open → half-open transition; that happens on the next Allow.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Counters returns a snapshot of the lifetime counters.
+func (b *Breaker) Counters() BreakerCounters {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ctrs
+}

@@ -1,0 +1,140 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+func newTestBreaker(threshold int, cooldown float64, probes int) (*Breaker, *float64) {
+	now := new(float64)
+	b := NewBreaker(BreakerConfig{
+		Threshold:      threshold,
+		Cooldown:       cooldown,
+		HalfOpenProbes: probes,
+		Clock:          func() float64 { return *now },
+	})
+	return b, now
+}
+
+// TestBreakerTripHalfOpenRecover walks the full state machine: K consecutive
+// failures trip it, the cooldown admits a half-open probe, a probe success
+// closes it again.
+func TestBreakerTripHalfOpenRecover(t *testing.T) {
+	b, now := newTestBreaker(3, 10, 1)
+
+	if b.State() != Closed {
+		t.Fatalf("initial state = %v", b.State())
+	}
+	// Two failures, then a success: the consecutive counter must reset.
+	b.Record(errBoom, 0)
+	b.Record(errBoom, 0)
+	b.Record(nil, 0)
+	if b.State() != Closed {
+		t.Fatal("non-consecutive failures must not trip")
+	}
+	// Three consecutive failures trip it.
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker must allow (failure %d)", i)
+		}
+		b.Record(errBoom, 0)
+	}
+	if b.State() != Open {
+		t.Fatalf("state after %d failures = %v", 3, b.State())
+	}
+	// While open and before the cooldown: short-circuit.
+	*now = 5
+	if b.Allow() {
+		t.Fatal("open breaker within cooldown must short-circuit")
+	}
+	if c := b.Counters(); c.ShortCircuited != 1 || c.Trips != 1 {
+		t.Errorf("counters = %+v", c)
+	}
+	// After the cooldown: one probe is admitted (half-open).
+	*now = 11
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker must admit a probe")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state after probe admission = %v", b.State())
+	}
+	// Probe failure re-opens with a fresh cooldown.
+	b.Record(errBoom, 0)
+	if b.State() != Open {
+		t.Fatal("probe failure must re-open")
+	}
+	*now = 15
+	if b.Allow() {
+		t.Fatal("re-opened breaker must honour the new cooldown")
+	}
+	*now = 22
+	if !b.Allow() {
+		t.Fatal("second probe must be admitted")
+	}
+	b.Record(nil, 0)
+	if b.State() != Closed {
+		t.Fatalf("probe success must close, state = %v", b.State())
+	}
+	if c := b.Counters(); c.Recoveries != 1 || c.Trips != 2 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+// TestBreakerLatencyBudget: a slow success counts as a failure.
+func TestBreakerLatencyBudget(t *testing.T) {
+	now := 0.0
+	b := NewBreaker(BreakerConfig{
+		Threshold:     2,
+		LatencyBudget: 100 * time.Millisecond,
+		Clock:         func() float64 { return now },
+	})
+	b.Record(nil, 200*time.Millisecond)
+	b.Record(nil, 150*time.Millisecond)
+	if b.State() != Open {
+		t.Fatalf("budget breaches must trip, state = %v", b.State())
+	}
+	if c := b.Counters(); c.Failures != 2 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+// TestBreakerMultiProbeClose: HalfOpenProbes > 1 requires that many
+// consecutive successes.
+func TestBreakerMultiProbeClose(t *testing.T) {
+	b, now := newTestBreaker(1, 10, 2)
+	b.Record(errBoom, 0)
+	*now = 11
+	if !b.Allow() {
+		t.Fatal("probe not admitted")
+	}
+	b.Record(nil, 0)
+	if b.State() != HalfOpen {
+		t.Fatal("one of two probes must not close")
+	}
+	if !b.Allow() {
+		t.Fatal("second probe not admitted")
+	}
+	b.Record(nil, 0)
+	if b.State() != Closed {
+		t.Fatalf("state = %v", b.State())
+	}
+}
+
+func TestBreakerDefaultsAndStateStrings(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	for i := 0; i < 5; i++ {
+		b.Record(errBoom, 0)
+	}
+	if b.State() != Open {
+		t.Errorf("default threshold should be 5, state = %v", b.State())
+	}
+	for s, want := range map[State]string{Closed: "closed", Open: "open", HalfOpen: "half-open", State(99): "unknown"} {
+		if got := fmt.Sprint(s); got != want {
+			t.Errorf("State(%d).String() = %q", s, got)
+		}
+	}
+}

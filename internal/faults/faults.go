@@ -1,0 +1,402 @@
+// Package faults is the deterministic fault-injection and graceful-degradation
+// layer. An Injector replays a schedule of fault events — fabric degradation
+// (latency inflation, bandwidth clamp, link flap), predictor failures
+// (returned errors, NaN/Inf outputs, latency spikes), and bus subscriber
+// stalls — against the testbed's simulated clock, so a chaos run is exactly
+// reproducible from its spec (and seed, for the randomized spec generator).
+// The degradation side lives alongside: a circuit Breaker around the
+// predictor (breaker.go), the FaultyPredictor injection wrapper
+// (predictor.go), and the GuardedPredictor that serves cached last-good
+// predictions while the breaker is open (guard.go).
+package faults
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"adrias/internal/obs"
+	"adrias/internal/randutil"
+	"adrias/internal/thymesis"
+)
+
+// Kind names one fault class. The string values are the spec-file syntax and
+// the metric label.
+type Kind string
+
+const (
+	// FabricLatency inflates the ThymesisFlow channel latency by Param×
+	// (default 2) for the event's duration.
+	FabricLatency Kind = "fabric-latency"
+	// FabricBandwidth clamps the fabric's effective throughput cap to the
+	// Param fraction (default 0.25).
+	FabricBandwidth Kind = "fabric-bandwidth"
+	// FabricFlap takes the link down entirely (partition) for the duration.
+	FabricFlap Kind = "fabric-flap"
+	// PredictError makes every prediction in the window return an error —
+	// the predictor outage that trips the circuit breaker.
+	PredictError Kind = "predict-error"
+	// PredictNaN corrupts every prediction to NaN (Param < 0) or +Inf
+	// (Param > 0); 0 alternates, seeded.
+	PredictNaN Kind = "predict-nan"
+	// PredictLatency delays every prediction batch by Param milliseconds
+	// (default 50) of wall time — the latency-budget breach path.
+	PredictLatency Kind = "predict-latency"
+	// BusStall marks the window in which a test bus subscriber should stop
+	// draining its connection; the injector only reports the state, the
+	// harness (adrias-bench -chaos) enacts it.
+	BusStall Kind = "bus-stall"
+)
+
+// Kinds lists every fault kind, in metric/exposition order.
+var Kinds = []Kind{FabricLatency, FabricBandwidth, FabricFlap, PredictError, PredictNaN, PredictLatency, BusStall}
+
+func validKind(k Kind) bool {
+	for _, v := range Kinds {
+		if k == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Event schedules one fault: Kind becomes active At seconds after
+// Injector.Start (simulated time) and stays active for Dur seconds. Param is
+// kind-specific (scale factor, fraction, milliseconds); 0 selects the kind's
+// default.
+type Event struct {
+	Kind  Kind
+	At    float64
+	Dur   float64
+	Param float64
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%s@%g+%g", e.Kind, e.At, e.Dur)
+	if e.Param != 0 {
+		s += fmt.Sprintf("=%g", e.Param)
+	}
+	return s
+}
+
+// Spec is a fault schedule. The zero value injects nothing.
+type Spec struct {
+	Events []Event
+}
+
+// String renders the spec in ParseSpec syntax.
+func (s Spec) String() string {
+	parts := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseSpec parses a semicolon-separated fault schedule:
+//
+//	kind@at+dur[=param][;...]
+//
+// e.g. "predict-error@4+40;fabric-flap@8+24;fabric-latency@44+12=2.5" —
+// a predictor outage 4 s into serving lasting 40 s, a link flap at 8 s for
+// 24 s, and 2.5× latency inflation at 44 s for 12 s. Times are simulated
+// seconds relative to Injector.Start. Whitespace around entries is ignored;
+// an empty string yields an empty spec.
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		e, err := parseEvent(part)
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.Events = append(spec.Events, e)
+	}
+	return spec, nil
+}
+
+func parseEvent(s string) (Event, error) {
+	var e Event
+	kindStr, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return e, fmt.Errorf("faults: %q: want kind@at+dur[=param]", s)
+	}
+	e.Kind = Kind(strings.TrimSpace(kindStr))
+	if !validKind(e.Kind) {
+		return e, fmt.Errorf("faults: unknown fault kind %q (known: %v)", e.Kind, Kinds)
+	}
+	if rest, paramStr, found := strings.Cut(rest, "="); found {
+		p, err := strconv.ParseFloat(strings.TrimSpace(paramStr), 64)
+		if err != nil {
+			return e, fmt.Errorf("faults: %q: bad param: %v", s, err)
+		}
+		e.Param = p
+		return finishEvent(e, rest, s)
+	}
+	return finishEvent(e, rest, s)
+}
+
+func finishEvent(e Event, rest, orig string) (Event, error) {
+	atStr, durStr, ok := strings.Cut(rest, "+")
+	if !ok {
+		return e, fmt.Errorf("faults: %q: want kind@at+dur[=param]", orig)
+	}
+	at, err := strconv.ParseFloat(strings.TrimSpace(atStr), 64)
+	if err != nil {
+		return e, fmt.Errorf("faults: %q: bad at-time: %v", orig, err)
+	}
+	dur, err := strconv.ParseFloat(strings.TrimSpace(durStr), 64)
+	if err != nil {
+		return e, fmt.Errorf("faults: %q: bad duration: %v", orig, err)
+	}
+	if at < 0 || dur <= 0 {
+		return e, fmt.Errorf("faults: %q: at must be ≥ 0 and dur > 0", orig)
+	}
+	e.At, e.Dur = at, dur
+	return e, nil
+}
+
+// RandomSpec generates a reproducible chaos schedule: n events of random
+// kinds (bus stalls excluded — those need a harness-side actor) spread
+// uniformly over [0, horizon) with durations in [horizon/20, horizon/5].
+// The same seed always yields the same schedule.
+func RandomSpec(seed int64, n int, horizon float64) Spec {
+	rng := randutil.New(seed).Split(0xfa17)
+	kinds := []Kind{FabricLatency, FabricBandwidth, FabricFlap, PredictError, PredictNaN, PredictLatency}
+	var spec Spec
+	for i := 0; i < n; i++ {
+		spec.Events = append(spec.Events, Event{
+			Kind: kinds[rng.Intn(len(kinds))],
+			At:   rng.Uniform(0, horizon*0.8),
+			Dur:  rng.Uniform(horizon/20, horizon/5),
+		})
+	}
+	sort.SliceStable(spec.Events, func(i, j int) bool { return spec.Events[i].At < spec.Events[j].At })
+	return spec
+}
+
+// Injector replays a fault Spec against a simulated clock. It is passive:
+// the owning layer polls it — the serve engine applies FabricDegradation on
+// every tick, the FaultyPredictor asks for the active predictor fault per
+// batch. Before Start is called nothing is active (warmup runs clean).
+// Safe for concurrent use.
+type Injector struct {
+	mu      sync.Mutex
+	spec    Spec
+	clock   func() float64
+	rng     *randutil.Source
+	started bool
+	base    float64 // clock value at Start; event times are relative to it
+
+	wasActive  map[Kind]bool
+	activated  map[Kind]uint64 // rising edges observed per kind
+	injections map[Kind]uint64 // faults actually applied (predictor wrapper)
+}
+
+// NewInjector builds an injector for the given schedule. seed drives the
+// randomized choices (NaN vs +Inf corruption); the schedule itself is fixed.
+func NewInjector(spec Spec, seed int64) *Injector {
+	return &Injector{
+		spec:       spec,
+		rng:        randutil.New(seed).Split(0x1417),
+		wasActive:  make(map[Kind]bool),
+		activated:  make(map[Kind]uint64),
+		injections: make(map[Kind]uint64),
+	}
+}
+
+// SetClock wires the simulated-time source (e.g. the cluster's Now). Must be
+// set before Start. The func is called with the injector's lock held, so it
+// must not call back into the injector.
+func (in *Injector) SetClock(clock func() float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.clock = clock
+}
+
+// Start arms the schedule: event times are measured from now (the current
+// clock value). Until Start, every Active query reports false.
+func (in *Injector) Start(now float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.started = true
+	in.base = now
+}
+
+// Started reports whether the schedule is armed.
+func (in *Injector) Started() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.started
+}
+
+// now returns the schedule-relative time, and whether the schedule is live.
+// Callers hold in.mu.
+func (in *Injector) relNow() (float64, bool) {
+	if !in.started || in.clock == nil {
+		return 0, false
+	}
+	return in.clock() - in.base, true
+}
+
+// activeLocked returns the active event of the given kind, preferring the
+// latest-starting one when several overlap. Callers hold in.mu.
+func (in *Injector) activeLocked(kind Kind, t float64) (Event, bool) {
+	var best Event
+	found := false
+	for _, e := range in.spec.Events {
+		if e.Kind != kind || t < e.At || t >= e.At+e.Dur {
+			continue
+		}
+		if !found || e.At >= best.At {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// ActiveEvent returns the event of the given kind active right now, if any,
+// and records rising edges for the activation counters.
+func (in *Injector) ActiveEvent(kind Kind) (Event, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	t, live := in.relNow()
+	if !live {
+		return Event{}, false
+	}
+	e, ok := in.activeLocked(kind, t)
+	if ok && !in.wasActive[kind] {
+		in.activated[kind]++
+	}
+	in.wasActive[kind] = ok
+	return e, ok
+}
+
+// Active reports whether a fault of the given kind is active right now.
+func (in *Injector) Active(kind Kind) bool {
+	_, ok := in.ActiveEvent(kind)
+	return ok
+}
+
+// CountInjection records one applied fault of the given kind (the predictor
+// wrapper calls it per corrupted batch).
+func (in *Injector) CountInjection(kind Kind) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.injections[kind]++
+}
+
+// Injections returns how many times a fault of the given kind was applied.
+func (in *Injector) Injections(kind Kind) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injections[kind]
+}
+
+// nanValue returns the corruption value for a PredictNaN event: NaN for
+// Param < 0, +Inf for Param > 0, a seeded coin flip between them for 0.
+func (in *Injector) nanValue(param float64) float64 {
+	switch {
+	case param < 0:
+		return nan()
+	case param > 0:
+		return inf()
+	}
+	in.mu.Lock()
+	flip := in.rng.Bernoulli(0.5)
+	in.mu.Unlock()
+	if flip {
+		return inf()
+	}
+	return nan()
+}
+
+// FabricDegradation folds every active fabric fault into the thymesis link
+// impairment to impose this instant: flap → Down, bandwidth clamp → the
+// smallest active fraction, latency inflation → the largest active scale.
+// The zero Degradation (healthy) comes back when nothing fabric-side is
+// active, so the caller can apply the result unconditionally every tick.
+func (in *Injector) FabricDegradation() thymesis.Degradation {
+	var d thymesis.Degradation
+	if _, ok := in.ActiveEvent(FabricFlap); ok {
+		d.Down = true
+	}
+	if e, ok := in.ActiveEvent(FabricBandwidth); ok {
+		frac := e.Param
+		if frac <= 0 || frac >= 1 {
+			frac = 0.25
+		}
+		d.BandwidthScale = frac
+	}
+	if e, ok := in.ActiveEvent(FabricLatency); ok {
+		scale := e.Param
+		if scale <= 1 {
+			scale = 2
+		}
+		d.LatencyScale = scale
+	}
+	return d
+}
+
+// Spec returns the schedule being replayed.
+func (in *Injector) Spec() Spec {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.spec
+}
+
+// RegisterMetrics publishes the injector state under adrias_faults_*: a
+// per-kind active gauge, per-kind activation (rising-edge) and applied
+// injection counters, and the schedule size.
+func (in *Injector) RegisterMetrics(r *obs.Registry) {
+	r.MustRegister("adrias_faults", obs.CollectorFunc(func(w io.Writer) {
+		in.mu.Lock()
+		t, live := in.relNow()
+		type row struct {
+			active               bool
+			activated, injection uint64
+		}
+		rows := make(map[Kind]row, len(Kinds))
+		for _, k := range Kinds {
+			var rw row
+			if live {
+				_, rw.active = in.activeLocked(k, t)
+			}
+			rw.activated = in.activated[k]
+			rw.injection = in.injections[k]
+			rows[k] = rw
+		}
+		events := len(in.spec.Events)
+		started := in.started
+		in.mu.Unlock()
+
+		fmt.Fprintf(w, "# HELP adrias_faults_active 1 while a fault of this kind is active.\n# TYPE adrias_faults_active gauge\n")
+		for _, k := range Kinds {
+			v := 0
+			if rows[k].active {
+				v = 1
+			}
+			fmt.Fprintf(w, "adrias_faults_active{kind=%q} %d\n", k, v)
+		}
+		fmt.Fprintf(w, "# HELP adrias_faults_activations_total Fault windows entered, per kind.\n# TYPE adrias_faults_activations_total counter\n")
+		for _, k := range Kinds {
+			fmt.Fprintf(w, "adrias_faults_activations_total{kind=%q} %d\n", k, rows[k].activated)
+		}
+		fmt.Fprintf(w, "# HELP adrias_faults_injected_total Faults actually applied, per kind.\n# TYPE adrias_faults_injected_total counter\n")
+		for _, k := range Kinds {
+			fmt.Fprintf(w, "adrias_faults_injected_total{kind=%q} %d\n", k, rows[k].injection)
+		}
+		obs.WriteGauge(w, "adrias_faults_schedule_events", "Events in the fault schedule.", float64(events))
+		armed := 0.0
+		if started {
+			armed = 1
+		}
+		obs.WriteGauge(w, "adrias_faults_armed", "1 once the schedule is armed (Start called).", armed)
+	}))
+}

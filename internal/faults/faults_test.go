@@ -1,0 +1,157 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"adrias/internal/obs"
+)
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("predict-error@4+40; fabric-flap@8+24;fabric-latency@44+12=2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Kind: PredictError, At: 4, Dur: 40},
+		{Kind: FabricFlap, At: 8, Dur: 24},
+		{Kind: FabricLatency, At: 44, Dur: 12, Param: 2.5},
+	}
+	if len(spec.Events) != len(want) {
+		t.Fatalf("events = %+v", spec.Events)
+	}
+	for i, e := range spec.Events {
+		if e != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, e, want[i])
+		}
+	}
+	// Roundtrip through String.
+	back, err := ParseSpec(spec.String())
+	if err != nil || len(back.Events) != len(want) {
+		t.Fatalf("roundtrip failed: %v %+v", err, back)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"bogus-kind@1+2",
+		"predict-error@1",
+		"predict-error@-1+2",
+		"predict-error@1+0",
+		"predict-error@x+2",
+		"predict-error@1+2=y",
+		"predict-error",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", bad)
+		}
+	}
+	if spec, err := ParseSpec("  "); err != nil || len(spec.Events) != 0 {
+		t.Errorf("blank spec should parse empty, got %+v, %v", spec, err)
+	}
+}
+
+func TestInjectorSchedule(t *testing.T) {
+	spec, _ := ParseSpec("predict-error@4+10;fabric-flap@8+4")
+	now := 100.0
+	in := NewInjector(spec, 1)
+	in.SetClock(func() float64 { return now })
+
+	// Unarmed: nothing active even inside a window.
+	now = 105
+	if in.Active(PredictError) {
+		t.Fatal("unarmed injector must inject nothing")
+	}
+
+	in.Start(100)
+	cases := []struct {
+		at          float64
+		err, flap   bool
+		description string
+	}{
+		{100, false, false, "before both"},
+		{104, true, false, "predictor window opens at +4"},
+		{108, true, true, "flap overlaps at +8"},
+		{112, true, false, "flap closes at +12"},
+		{114, false, false, "predictor window closes at +14"},
+	}
+	for _, c := range cases {
+		now = c.at
+		if got := in.Active(PredictError); got != c.err {
+			t.Errorf("%s: predict-error = %v", c.description, got)
+		}
+		if got := in.Active(FabricFlap); got != c.flap {
+			t.Errorf("%s: fabric-flap = %v", c.description, got)
+		}
+	}
+}
+
+func TestInjectorFabricDegradation(t *testing.T) {
+	spec, _ := ParseSpec("fabric-latency@0+10=3;fabric-bandwidth@0+10=0.1;fabric-flap@5+2")
+	now := 0.0
+	in := NewInjector(spec, 1)
+	in.SetClock(func() float64 { return now })
+	in.Start(0)
+
+	d := in.FabricDegradation()
+	if d.LatencyScale != 3 || d.BandwidthScale != 0.1 || d.Down {
+		t.Errorf("degradation = %+v", d)
+	}
+	now = 5.5
+	if d := in.FabricDegradation(); !d.Down {
+		t.Errorf("flap window should take the link down: %+v", d)
+	}
+	now = 20
+	if d := in.FabricDegradation(); d.Active() {
+		t.Errorf("past the schedule the link must be healthy: %+v", d)
+	}
+}
+
+func TestInjectorDefaultsAndCounters(t *testing.T) {
+	spec, _ := ParseSpec("fabric-latency@0+10;fabric-bandwidth@0+10")
+	now := 1.0
+	in := NewInjector(spec, 1)
+	in.SetClock(func() float64 { return now })
+	in.Start(0)
+	d := in.FabricDegradation()
+	if d.LatencyScale != 2 || d.BandwidthScale != 0.25 {
+		t.Errorf("defaults = %+v, want scale 2 / fraction 0.25", d)
+	}
+
+	var buf strings.Builder
+	r := obs.NewRegistry()
+	in.RegisterMetrics(r)
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`adrias_faults_active{kind="fabric-latency"} 1`,
+		`adrias_faults_active{kind="predict-error"} 0`,
+		`adrias_faults_activations_total{kind="fabric-latency"} 1`,
+		"adrias_faults_schedule_events 2",
+		"adrias_faults_armed 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRandomSpecDeterministic(t *testing.T) {
+	a := RandomSpec(7, 5, 100)
+	b := RandomSpec(7, 5, 100)
+	if a.String() != b.String() {
+		t.Errorf("same seed, different specs:\n%s\n%s", a, b)
+	}
+	c := RandomSpec(8, 5, 100)
+	if a.String() == c.String() {
+		t.Error("different seeds should give different schedules")
+	}
+	for _, e := range a.Events {
+		if e.Kind == BusStall {
+			t.Error("RandomSpec must not schedule bus stalls")
+		}
+		if e.At < 0 || e.Dur <= 0 {
+			t.Errorf("invalid event %+v", e)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"adrias/internal/core"
+	"adrias/internal/mathx"
+)
+
+// GuardedPredictor is the graceful-degradation wrapper around the
+// prediction path: a circuit Breaker gates every batch, and a last-good
+// cache remembers the most recent finite prediction per (app, class, tier)
+// query. While the breaker is open, queries short-circuit — each one gets
+// core.ErrBreakerOpen plus the cached last-good value (0 when never seen),
+// so the orchestrator can still apply the paper's placement rules to stale
+// predictions instead of blindly defaulting local. A batch counts as a
+// breaker failure when every query errored, or every prediction came back
+// non-finite (a NaN/Inf model blow-up is as useless as an error), or the
+// batch breached the configured latency budget. Safe for concurrent use.
+type GuardedPredictor struct {
+	Inner   core.PerfInference
+	Breaker *Breaker
+
+	mu       sync.Mutex
+	lastGood map[string]float64
+}
+
+// NewGuardedPredictor stacks the breaker over inner.
+func NewGuardedPredictor(inner core.PerfInference, b *Breaker) *GuardedPredictor {
+	return &GuardedPredictor{Inner: inner, Breaker: b, lastGood: make(map[string]float64)}
+}
+
+func queryKey(q core.PerfQuery) string {
+	return fmt.Sprintf("%s/%d/%d", q.Name, q.Class, q.Tier)
+}
+
+// PredictPerfBatch implements core.PerfInference.
+func (g *GuardedPredictor) PredictPerfBatch(ctx context.Context, queries []core.PerfQuery, window []mathx.Vector) (mathx.Vector, []error) {
+	if !g.Breaker.Allow() {
+		return g.cached(queries)
+	}
+	start := time.Now()
+	preds, errs := g.Inner.PredictPerfBatch(ctx, queries, window)
+	dur := time.Since(start)
+
+	good := 0
+	for i := range queries {
+		if errs[i] == nil && finite(preds[i]) {
+			good++
+		}
+	}
+	var callErr error
+	if len(queries) > 0 && good == 0 {
+		callErr = firstErr(errs)
+		if callErr == nil {
+			callErr = fmt.Errorf("faults: all %d predictions non-finite", len(queries))
+		}
+	}
+	g.Breaker.Record(callErr, dur)
+	if callErr != nil {
+		// Total failure, but this call was allowed: pass the real outcome
+		// through (the orchestrator's finite-prediction guard classifies it
+		// as predict-error). Only open-state short-circuits wear the
+		// breaker-open label and serve the cache.
+		return preds, errs
+	}
+	g.mu.Lock()
+	for i, q := range queries {
+		if errs[i] == nil && finite(preds[i]) {
+			g.lastGood[queryKey(q)] = preds[i]
+		}
+	}
+	g.mu.Unlock()
+	return preds, errs
+}
+
+// cached answers every query from the last-good cache, flagging each with
+// core.ErrBreakerOpen so DecideBatch audits the decision as breaker-open.
+func (g *GuardedPredictor) cached(queries []core.PerfQuery) (mathx.Vector, []error) {
+	preds := mathx.NewVector(len(queries))
+	errs := make([]error, len(queries))
+	g.mu.Lock()
+	for i, q := range queries {
+		preds[i] = g.lastGood[queryKey(q)]
+		errs[i] = core.ErrBreakerOpen
+	}
+	g.mu.Unlock()
+	return preds, errs
+}
+
+// CacheLen returns the number of cached last-good predictions.
+func (g *GuardedPredictor) CacheLen() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.lastGood)
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}
+
+func firstErr(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"adrias/internal/core"
+	"adrias/internal/mathx"
+	"adrias/internal/memsys"
+)
+
+// fakeInfer is a scripted core.PerfInference.
+type fakeInfer struct {
+	pred  float64 // returned for every query
+	err   error   // returned for every query when non-nil
+	calls int
+}
+
+func (f *fakeInfer) PredictPerfBatch(_ context.Context, queries []core.PerfQuery, _ []mathx.Vector) (mathx.Vector, []error) {
+	f.calls++
+	preds := mathx.NewVector(len(queries))
+	errs := make([]error, len(queries))
+	for i := range queries {
+		if f.err != nil {
+			errs[i] = f.err
+			continue
+		}
+		preds[i] = f.pred
+	}
+	return preds, errs
+}
+
+var testQueries = []core.PerfQuery{
+	{Name: "spark-pr", Class: core.ClassBE, Tier: memsys.TierLocal},
+	{Name: "spark-pr", Class: core.ClassBE, Tier: memsys.TierRemote},
+}
+
+// TestGuardedPredictorTripAndCache: an outage trips the breaker after K
+// batches; while open, queries short-circuit with ErrBreakerOpen plus the
+// cached last-good predictions, without touching the inner predictor.
+func TestGuardedPredictorTripAndCache(t *testing.T) {
+	inner := &fakeInfer{pred: 42}
+	now := 0.0
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: 10, Clock: func() float64 { return now }})
+	g := NewGuardedPredictor(inner, b)
+	ctx := context.Background()
+
+	// A healthy batch populates the cache.
+	preds, errs := g.PredictPerfBatch(ctx, testQueries, nil)
+	if errs[0] != nil || preds[0] != 42 {
+		t.Fatalf("healthy pass-through broken: %v %v", preds, errs)
+	}
+	if g.CacheLen() != 2 {
+		t.Fatalf("cache len = %d", g.CacheLen())
+	}
+
+	// Outage: three all-error batches trip the breaker.
+	inner.err = errors.New("model down")
+	for i := 0; i < 3; i++ {
+		_, errs = g.PredictPerfBatch(ctx, testQueries, nil)
+		if errs[0] == nil {
+			t.Fatalf("outage batch %d should error", i)
+		}
+	}
+	if b.State() != Open {
+		t.Fatalf("state after outage = %v", b.State())
+	}
+
+	// Open: short-circuit serves the cache, inner is not called.
+	callsBefore := inner.calls
+	preds, errs = g.PredictPerfBatch(ctx, testQueries, nil)
+	if inner.calls != callsBefore {
+		t.Error("open breaker must not call the inner predictor")
+	}
+	for i := range testQueries {
+		if !errors.Is(errs[i], core.ErrBreakerOpen) {
+			t.Errorf("query %d err = %v, want ErrBreakerOpen", i, errs[i])
+		}
+		if preds[i] != 42 {
+			t.Errorf("query %d cached pred = %g, want 42", i, preds[i])
+		}
+	}
+
+	// Recovery: cooldown elapses, the probe succeeds, breaker closes.
+	inner.err = nil
+	now = 11
+	preds, errs = g.PredictPerfBatch(ctx, testQueries, nil)
+	if errs[0] != nil || preds[0] != 42 {
+		t.Fatalf("probe should pass through: %v %v", preds, errs)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state after probe = %v", b.State())
+	}
+}
+
+// TestGuardedPredictorNaNIsFailure: a batch whose predictions are all
+// non-finite counts as a breaker failure (the orchestrator's finite guard
+// classifies the passed-through NaNs as predict-error); once tripped, the
+// short-circuit serves the finite cached values instead.
+func TestGuardedPredictorNaNIsFailure(t *testing.T) {
+	inner := &fakeInfer{pred: 7}
+	b := NewBreaker(BreakerConfig{Threshold: 2, Cooldown: 1e9, Clock: func() float64 { return 0 }})
+	g := NewGuardedPredictor(inner, b)
+	ctx := context.Background()
+
+	g.PredictPerfBatch(ctx, testQueries, nil) // seed the cache
+	inner.pred = math.NaN()
+	g.PredictPerfBatch(ctx, testQueries, nil)
+	g.PredictPerfBatch(ctx, testQueries, nil)
+	if b.State() != Open {
+		t.Fatalf("all-NaN batches must trip, state = %v", b.State())
+	}
+	if c := b.Counters(); c.Failures != 2 {
+		t.Errorf("counters = %+v", c)
+	}
+	// Open: the cache answers with the last finite values, never NaN.
+	preds, errs := g.PredictPerfBatch(ctx, testQueries, nil)
+	for i := range preds {
+		if math.IsNaN(preds[i]) || preds[i] != 7 {
+			t.Errorf("short-circuit pred %d = %g, want cached 7", i, preds[i])
+		}
+		if !errors.Is(errs[i], core.ErrBreakerOpen) {
+			t.Errorf("short-circuit err %d = %v", i, errs[i])
+		}
+	}
+}
+
+// TestGuardedPredictorColdCache: with nothing cached, an open breaker
+// returns zero predictions (→ safe-local in the orchestrator) and
+// ErrBreakerOpen.
+func TestGuardedPredictorColdCache(t *testing.T) {
+	inner := &fakeInfer{err: errors.New("down")}
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 1e9, Clock: func() float64 { return 0 }})
+	g := NewGuardedPredictor(inner, b)
+	g.PredictPerfBatch(context.Background(), testQueries, nil) // trips
+	preds, errs := g.PredictPerfBatch(context.Background(), testQueries, nil)
+	for i := range testQueries {
+		if preds[i] != 0 || !errors.Is(errs[i], core.ErrBreakerOpen) {
+			t.Errorf("cold cache query %d: pred=%g err=%v", i, preds[i], errs[i])
+		}
+	}
+}
+
+// TestGuardedPredictorLatencyBudget: a slow inner predictor trips the
+// breaker via the latency budget even though calls succeed.
+func TestGuardedPredictorLatencyBudget(t *testing.T) {
+	slow := &slowInfer{inner: &fakeInfer{pred: 5}, delay: 5 * time.Millisecond}
+	b := NewBreaker(BreakerConfig{Threshold: 2, LatencyBudget: time.Millisecond, Clock: func() float64 { return 0 }})
+	g := NewGuardedPredictor(slow, b)
+	for i := 0; i < 2; i++ {
+		g.PredictPerfBatch(context.Background(), testQueries, nil)
+	}
+	if b.State() != Open {
+		t.Fatalf("latency breaches must trip, state = %v", b.State())
+	}
+}
+
+type slowInfer struct {
+	inner *fakeInfer
+	delay time.Duration
+}
+
+func (s *slowInfer) PredictPerfBatch(ctx context.Context, q []core.PerfQuery, w []mathx.Vector) (mathx.Vector, []error) {
+	time.Sleep(s.delay)
+	return s.inner.PredictPerfBatch(ctx, q, w)
+}
+
+// TestFaultyPredictorInjection drives the injection wrapper through its
+// three fault windows with a scripted clock.
+func TestFaultyPredictorInjection(t *testing.T) {
+	spec, err := ParseSpec("predict-error@0+10;predict-nan@20+10;predict-latency@40+10=80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	inj := NewInjector(spec, 3)
+	inj.SetClock(func() float64 { return now })
+	inj.Start(0)
+
+	inner := &fakeInfer{pred: 9}
+	var slept time.Duration
+	f := &FaultyPredictor{Inner: inner, Inj: inj, Sleep: func(d time.Duration) { slept += d }}
+	ctx := context.Background()
+
+	// Error window: every query errors with ErrInjected, inner untouched.
+	now = 5
+	_, errs := f.PredictPerfBatch(ctx, testQueries, nil)
+	for i := range errs {
+		if !errors.Is(errs[i], ErrInjected) {
+			t.Errorf("err %d = %v", i, errs[i])
+		}
+	}
+	if inner.calls != 0 {
+		t.Error("outage must not reach the inner predictor")
+	}
+
+	// Clean gap: pass-through.
+	now = 15
+	preds, errs := f.PredictPerfBatch(ctx, testQueries, nil)
+	if errs[0] != nil || preds[0] != 9 {
+		t.Fatalf("clean window corrupted: %v %v", preds, errs)
+	}
+
+	// NaN window: all predictions non-finite.
+	now = 25
+	preds, errs = f.PredictPerfBatch(ctx, testQueries, nil)
+	for i := range preds {
+		if errs[i] == nil && !math.IsNaN(preds[i]) && !math.IsInf(preds[i], 0) {
+			t.Errorf("pred %d = %g, want NaN/Inf", i, preds[i])
+		}
+	}
+
+	// Latency window: the batch is delayed by the event parameter.
+	now = 45
+	f.PredictPerfBatch(ctx, testQueries, nil)
+	if slept != 80*time.Millisecond {
+		t.Errorf("slept %v, want 80ms", slept)
+	}
+
+	if inj.Injections(PredictError) == 0 || inj.Injections(PredictNaN) == 0 || inj.Injections(PredictLatency) == 0 {
+		t.Errorf("injection counters not recorded: %d %d %d",
+			inj.Injections(PredictError), inj.Injections(PredictNaN), inj.Injections(PredictLatency))
+	}
+}

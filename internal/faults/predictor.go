@@ -1,0 +1,68 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"math"
+	"time"
+
+	"adrias/internal/core"
+	"adrias/internal/mathx"
+)
+
+// ErrInjected marks prediction errors produced by an injected predictor
+// outage (as opposed to genuine model failures).
+var ErrInjected = errors.New("faults: injected predictor outage")
+
+func nan() float64 { return math.NaN() }
+func inf() float64 { return math.Inf(1) }
+
+// FaultyPredictor wraps a core.PerfInference with schedule-driven failure
+// injection: while a PredictError event is active every query errors, a
+// PredictNaN event corrupts every prediction to NaN/Inf, and a
+// PredictLatency event delays the batch by the event's Param milliseconds of
+// wall time (default 50). Outside active windows it is a transparent
+// pass-through. Stack it under the GuardedPredictor so the circuit breaker
+// sees the injected failures.
+type FaultyPredictor struct {
+	Inner core.PerfInference
+	Inj   *Injector
+	// Sleep overrides the latency-injection sleep (tests); nil uses
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// PredictPerfBatch implements core.PerfInference.
+func (f *FaultyPredictor) PredictPerfBatch(ctx context.Context, queries []core.PerfQuery, window []mathx.Vector) (mathx.Vector, []error) {
+	if e, ok := f.Inj.ActiveEvent(PredictLatency); ok {
+		ms := e.Param
+		if ms <= 0 {
+			ms = 50
+		}
+		sleep := f.Sleep
+		if sleep == nil {
+			sleep = time.Sleep
+		}
+		sleep(time.Duration(ms * float64(time.Millisecond)))
+		f.Inj.CountInjection(PredictLatency)
+	}
+	if _, ok := f.Inj.ActiveEvent(PredictError); ok {
+		f.Inj.CountInjection(PredictError)
+		preds := mathx.NewVector(len(queries))
+		errs := make([]error, len(queries))
+		for i := range errs {
+			errs[i] = ErrInjected
+		}
+		return preds, errs
+	}
+	preds, errs := f.Inner.PredictPerfBatch(ctx, queries, window)
+	if e, ok := f.Inj.ActiveEvent(PredictNaN); ok {
+		f.Inj.CountInjection(PredictNaN)
+		for i := range preds {
+			if errs[i] == nil {
+				preds[i] = f.Inj.nanValue(e.Param)
+			}
+		}
+	}
+	return preds, errs
+}

@@ -3,12 +3,16 @@ package serve
 import (
 	"context"
 	"fmt"
+	"io"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adrias/internal/bus"
 	"adrias/internal/cluster"
 	"adrias/internal/core"
+	"adrias/internal/faults"
 	"adrias/internal/memsys"
 	"adrias/internal/obs"
 	"adrias/internal/randutil"
@@ -43,6 +47,18 @@ type EngineConfig struct {
 	// "orchestrator.decisions" and a monitoring sample per Advance on
 	// "watcher.samples" — the live equivalent of adriasd's replay stream.
 	Bus *bus.Bus
+	// Faults, when set, replays its fault schedule against the engine: the
+	// prediction path runs through a faults.FaultyPredictor and active
+	// fabric faults are imposed on the ThymesisFlow link every tick. The
+	// engine arms the schedule (Injector.Start) once warmup finishes, so
+	// event times are relative to serving start.
+	Faults *faults.Injector
+	// Breaker tunes the predictor circuit breaker (zero value: faults
+	// package defaults; the clock defaults to the testbed's simulated time).
+	Breaker faults.BreakerConfig
+	// DisableBreaker turns the circuit breaker off — predictions then fail
+	// per-request only, the pre-degradation behaviour.
+	DisableBreaker bool
 }
 
 func (c EngineConfig) withDefaults(histTicks int) EngineConfig {
@@ -80,10 +96,26 @@ type SystemEngine struct {
 	sigs  *SignatureCache
 	rng   *randutil.Source
 	cfg   EngineConfig
-	audit *obs.AuditLog // nil until RegisterObs
+	audit *obs.AuditLog   // nil until RegisterObs
+	brk   *faults.Breaker // nil when DisableBreaker
 
 	ambientStarted uint64
+	// ambientClock is the simulated time (whole-second slots) through which
+	// ambient arrivals have been generated. It carries fractional Advance
+	// remainders across calls, so sub-second cadences sustain the same
+	// effective AmbientRate as whole-second ones.
+	ambientClock float64
+	// simNow mirrors the testbed clock (float64 bits) for lock-free readers:
+	// the fault injector and the breaker consult it from paths that may or
+	// may not already hold mu.
+	simNow atomic.Uint64
 }
+
+// SimNow returns the testbed's simulated time without taking the engine
+// lock (updated per tick; safe from any goroutine).
+func (e *SystemEngine) SimNow() float64 { return math.Float64frombits(e.simNow.Load()) }
+
+func (e *SystemEngine) setSimNow(t float64) { e.simNow.Store(math.Float64bits(t)) }
 
 // NewSystemEngine builds the engine and warms the testbed up so the
 // monitoring window is full before the first request.
@@ -125,10 +157,46 @@ func NewSystemEngine(pred *core.Predictor, watch *core.Watcher, reg *workload.Re
 		}
 		_ = e.sigs.Put(in.Profile.Name, trace)
 	}
+	// Degradation stack over the prediction path: fault injection closest
+	// to the model, then the circuit breaker + last-good cache on top, so
+	// the breaker sees injected failures exactly as it would real ones.
+	var infer core.PerfInference = pred
+	if cfg.Faults != nil {
+		infer = &faults.FaultyPredictor{Inner: infer, Inj: cfg.Faults}
+	}
+	if !cfg.DisableBreaker {
+		bcfg := cfg.Breaker
+		if bcfg.Clock == nil {
+			bcfg.Clock = e.SimNow
+		}
+		e.brk = faults.NewBreaker(bcfg)
+		infer = faults.NewGuardedPredictor(infer, e.brk)
+	}
+	e.orch.Infer = infer
+	fab := e.cl.Node().Fabric()
+	e.orch.FabricDegraded = fab.Degraded
+	if cfg.Faults != nil {
+		// Impose the scheduled fabric state after every tick resolution (it
+		// binds from the next tick — fault windows span many ticks). The
+		// hook runs inside cl.Run under the engine lock.
+		e.cl.OnTick = func(now float64, _ memsys.Sample) {
+			e.setSimNow(now)
+			fab.SetDegradation(cfg.Faults.FabricDegradation())
+		}
+	}
+
 	// Warm up: some seed load plus enough ticks to fill the window.
 	spark := reg.Spark()
 	e.cl.Deploy(spark[e.rng.Intn(len(spark))], memsys.TierLocal)
 	e.cl.Run(float64(cfg.WarmupTicks))
+	e.ambientClock = e.cl.Now()
+	e.setSimNow(e.cl.Now())
+	if cfg.Faults != nil {
+		// Arm the schedule now — warmup ran clean, event times count from
+		// serving start.
+		cfg.Faults.SetClock(e.SimNow)
+		cfg.Faults.Start(e.cl.Now())
+	}
 	return e
 }
 
@@ -181,19 +249,18 @@ func (e *SystemEngine) PlaceBatch(ctx context.Context, reqs []PlaceRequest) []Pl
 	if len(profiles) == 0 {
 		return results
 	}
-	tiers := e.orch.DecideBatch(ctx, profiles, e.cl)
-	base := len(e.orch.Decisions) - len(profiles)
+	ds := e.orch.DecideBatch(ctx, profiles, e.cl)
 	now := time.Now()
 	for k, i := range idx {
-		d := e.orch.Decisions[base+k]
-		results[i].Tier = tiers[k]
+		d := ds[k]
+		results[i].Tier = d.Tier
 		results[i].PredLocalS = d.PredLocal
 		results[i].PredRemS = d.PredRem
 		results[i].ColdStart = d.ColdStart
 		results[i].Fallback = d.Fallback
 		results[i].Reason = d.Reason
 		if !reqs[i].DryRun {
-			e.cl.Deploy(profiles[k], tiers[k])
+			e.cl.Deploy(profiles[k], d.Tier)
 		}
 		if e.audit != nil {
 			e.audit.Record(obs.DecisionRecord{
@@ -202,7 +269,7 @@ func (e *SystemEngine) PlaceBatch(ctx context.Context, reqs []PlaceRequest) []Pl
 				SimTime:     e.cl.Now(),
 				App:         d.App,
 				Class:       d.Class.String(),
-				Tier:        tiers[k].String(),
+				Tier:        d.Tier.String(),
 				PredLocalS:  d.PredLocal,
 				PredRemoteS: d.PredRem,
 				Beta:        e.orch.Beta,
@@ -216,7 +283,7 @@ func (e *SystemEngine) PlaceBatch(ctx context.Context, reqs []PlaceRequest) []Pl
 		if e.cfg.Bus != nil {
 			_, _ = e.cfg.Bus.Publish("orchestrator.decisions", decisionEvent{
 				TraceID: reqs[i].TraceID, App: d.App, Class: d.Class.String(),
-				Tier: tiers[k].String(), PredLocal: d.PredLocal, PredRem: d.PredRem,
+				Tier: d.Tier.String(), PredLocal: d.PredLocal, PredRem: d.PredRem,
 				ColdStart: d.ColdStart, Reason: d.Reason,
 			})
 		}
@@ -227,6 +294,10 @@ func (e *SystemEngine) PlaceBatch(ctx context.Context, reqs []PlaceRequest) []Pl
 // Advance moves the testbed simSec simulated seconds forward, injecting
 // ambient arrivals (coin-flip placed, the paper's load-generation
 // semantics) along the way. The caller paces it against the wall clock.
+// Arrivals are generated per whole-second slot of simulated time with the
+// fractional remainder carried across calls, so the effective rate matches
+// AmbientRate at any cadence — Advance(0.25) four times draws exactly the
+// arrivals of one Advance(1).
 func (e *SystemEngine) Advance(simSec float64) {
 	if simSec <= 0 {
 		return
@@ -234,7 +305,13 @@ func (e *SystemEngine) Advance(simSec float64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	now := e.cl.Now()
-	for s := 1; s <= int(simSec); s++ {
+	target := now + simSec
+	// Tolerate float accumulation: a slot whose end lands within a
+	// nanosecond of the target still counts as covered.
+	const eps = 1e-9
+	for e.ambientClock+1 <= target+eps {
+		slot := e.ambientClock
+		e.ambientClock++
 		if !e.rng.Bernoulli(e.cfg.AmbientRate) {
 			continue
 		}
@@ -243,10 +320,18 @@ func (e *SystemEngine) Advance(simSec float64) {
 		if e.rng.Bernoulli(0.5) {
 			tier = memsys.TierRemote
 		}
-		e.cl.DeployAt(now+float64(s-1)+e.rng.Float64(), p, func() memsys.Tier { return tier }, nil)
+		// The arrival lands uniformly inside its slot; slots opened by an
+		// earlier fractional call can reach back before the current clock,
+		// so clamp (the engine refuses to schedule in the past).
+		at := slot + e.rng.Float64()
+		if at < now {
+			at = now
+		}
+		e.cl.DeployAt(at, p, func() memsys.Tier { return tier }, nil)
 		e.ambientStarted++
 	}
-	e.cl.Run(now + simSec)
+	e.cl.Run(target)
+	e.setSimNow(e.cl.Now())
 	if e.cfg.Bus != nil {
 		s := e.cl.LastSample()
 		_, _ = e.cfg.Bus.Publish("watcher.samples", sampleEvent{
@@ -278,42 +363,73 @@ type EngineStats struct {
 	LocalFreeGB    float64
 	RemoteFreeGB   float64
 	Ready          bool
+	// Breaker is the predictor circuit breaker's state ("closed", "open",
+	// "half-open"; empty when the breaker is disabled).
+	Breaker string
+	// FabricDegraded reports an impaired ThymesisFlow link (fault
+	// injection).
+	FabricDegraded bool
+	// Degraded is the service-level degraded mode: the breaker is not
+	// closed or the fabric is impaired. /healthz reports it alongside
+	// Ready — degraded still answers requests, on fallback rules.
+	Degraded bool
 }
 
 // Snapshot returns current testbed and orchestrator state.
 func (e *SystemEngine) Snapshot() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return EngineStats{
+	s := EngineStats{
 		SimTime:        e.cl.Now(),
 		Running:        len(e.cl.Running()),
 		Completed:      len(e.cl.Completed()),
-		Decisions:      len(e.orch.Decisions),
+		Decisions:      int(e.orch.TotalDecisions()),
 		AmbientStarted: e.ambientStarted,
 		LocalFreeGB:    e.cl.CapacityLeftGB(memsys.TierLocal),
 		RemoteFreeGB:   e.cl.CapacityLeftGB(memsys.TierRemote),
 		Ready:          e.watch.Ready(e.cl),
+		FabricDegraded: e.cl.Node().Fabric().Degraded(),
 	}
+	if e.brk != nil {
+		st := e.brk.State()
+		s.Breaker = st.String()
+		s.Degraded = st != faults.Closed
+	}
+	s.Degraded = s.Degraded || s.FabricDegraded
+	return s
 }
 
-// RegisterMetrics publishes engine gauges on the service metric set.
+// Breaker exposes the predictor circuit breaker (nil when disabled).
+func (e *SystemEngine) Breaker() *faults.Breaker { return e.brk }
+
+// RegisterMetrics publishes engine series on the service metric set: one
+// block rendering every engine gauge off a single Snapshot (one engine-lock
+// acquisition per scrape instead of one per series), the signature-cache
+// hit/miss counters (counter-typed, matching their _total names), and —
+// when the breaker is on — the breaker state gauge and lifetime counters.
 func (e *SystemEngine) RegisterMetrics(m *Metrics) {
-	m.AddGauge("adrias_serve_sim_time_seconds", "Simulated testbed time.", func() float64 {
-		return e.Snapshot().SimTime
-	})
-	m.AddGauge("adrias_serve_running_instances", "Instances running on the testbed.", func() float64 {
-		return float64(e.Snapshot().Running)
-	})
-	m.AddGauge("adrias_serve_signatures", "Signatures in the store.", func() float64 {
-		return float64(e.sigs.Len())
-	})
-	m.AddGauge("adrias_serve_sigcache_hits_total", "Signature-cache hits.", func() float64 {
-		h, _ := e.sigs.Stats()
-		return float64(h)
-	})
-	m.AddGauge("adrias_serve_sigcache_misses_total", "Signature-cache misses.", func() float64 {
-		_, ms := e.sigs.Stats()
-		return float64(ms)
+	m.AddBlock(func(w io.Writer) {
+		s := e.Snapshot()
+		obs.WriteGauge(w, "adrias_serve_sim_time_seconds", "Simulated testbed time.", s.SimTime)
+		obs.WriteGauge(w, "adrias_serve_running_instances", "Instances running on the testbed.", float64(s.Running))
+		obs.WriteGauge(w, "adrias_serve_signatures", "Signatures in the store.", float64(e.sigs.Len()))
+		h, ms := e.sigs.Stats()
+		obs.WriteCounter(w, "adrias_serve_sigcache_hits_total", "Signature-cache hits.", uint64(h))
+		obs.WriteCounter(w, "adrias_serve_sigcache_misses_total", "Signature-cache misses.", uint64(ms))
+		degraded := 0.0
+		if s.Degraded {
+			degraded = 1
+		}
+		obs.WriteGauge(w, "adrias_serve_degraded", "1 while serving in degraded mode (breaker open/half-open or fabric impaired).", degraded)
+		if e.brk != nil {
+			obs.WriteGauge(w, "adrias_serve_breaker_state",
+				"Predictor circuit breaker state: 0 closed, 1 open, 2 half-open.",
+				float64(e.brk.State()))
+			c := e.brk.Counters()
+			obs.WriteCounter(w, "adrias_serve_breaker_trips_total", "Breaker trips (transitions to open).", c.Trips)
+			obs.WriteCounter(w, "adrias_serve_breaker_recoveries_total", "Breaker recoveries (half-open probes that closed it).", c.Recoveries)
+			obs.WriteCounter(w, "adrias_serve_breaker_short_circuited_total", "Prediction batches short-circuited while open.", c.ShortCircuited)
+		}
 	})
 }
 

@@ -34,10 +34,16 @@ type PlaceHTTPResponse struct {
 	TraceID     string  `json:"trace_id,omitempty"`
 }
 
-// HealthResponse is the JSON body of GET /healthz.
+// HealthResponse is the JSON body of GET /healthz. Status is "ok" while
+// healthy and "degraded" while the breaker is not closed or the fabric is
+// impaired — the service still answers placements in that state, on
+// fallback rules, so the HTTP status stays 200 either way.
 type HealthResponse struct {
 	Status         string  `json:"status"`
 	Ready          bool    `json:"ready"`
+	Degraded       bool    `json:"degraded,omitempty"`
+	Breaker        string  `json:"breaker,omitempty"`
+	FabricDegraded bool    `json:"fabric_degraded,omitempty"`
 	SimTime        float64 `json:"sim_time_s"`
 	Running        int     `json:"running"`
 	Completed      int     `json:"completed"`
@@ -122,12 +128,18 @@ func NewHandler(svc *Service, health HealthSource) http.Handler {
 		if health != nil {
 			s := health.Snapshot()
 			resp.Ready = s.Ready
+			resp.Degraded = s.Degraded
+			resp.Breaker = s.Breaker
+			resp.FabricDegraded = s.FabricDegraded
 			resp.SimTime = s.SimTime
 			resp.Running = s.Running
 			resp.Completed = s.Completed
 			resp.Decisions = s.Decisions
 			resp.AmbientStarted = s.AmbientStarted
 			resp.Signatures = health.Signatures().Len()
+			if s.Degraded {
+				resp.Status = "degraded"
+			}
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})

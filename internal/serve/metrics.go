@@ -48,14 +48,9 @@ type Metrics struct {
 
 	// queueDepth reports the live admission-queue length at scrape time.
 	queueDepth func() int
-	// extraGauges lets the engine publish gauges (sim time, running
-	// instances, signature count) through the same endpoint.
-	extraGauges []gauge
-}
-
-type gauge struct {
-	name, help string
-	read       func() float64
+	// extraBlocks lets the engine publish whole series blocks (gauges,
+	// counters, snapshot-shared reads) through the same endpoint.
+	extraBlocks []func(io.Writer)
 }
 
 // NewMetrics returns an empty metric set with default latency buckets.
@@ -69,7 +64,15 @@ func NewMetrics() *Metrics {
 // AddGauge registers a scrape-time gauge. Not safe to call concurrently
 // with WritePrometheus; register everything before serving.
 func (m *Metrics) AddGauge(name, help string, read func() float64) {
-	m.extraGauges = append(m.extraGauges, gauge{name: name, help: help, read: read})
+	m.AddBlock(func(w io.Writer) { obs.WriteGauge(w, name, help, read()) })
+}
+
+// AddBlock registers a scrape-time render function that may emit several
+// series at once — the engine uses one block to render every gauge off a
+// single state snapshot instead of locking per series. Not safe to call
+// concurrently with WritePrometheus; register everything before serving.
+func (m *Metrics) AddBlock(render func(io.Writer)) {
+	m.extraBlocks = append(m.extraBlocks, render)
 }
 
 // WritePrometheus renders the metric set in Prometheus text exposition
@@ -96,10 +99,8 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "# TYPE adrias_serve_queue_depth gauge\n")
 		fmt.Fprintf(w, "adrias_serve_queue_depth %d\n", m.queueDepth())
 	}
-	for _, g := range m.extraGauges {
-		fmt.Fprintf(w, "# HELP %s %s\n", g.name, g.help)
-		fmt.Fprintf(w, "# TYPE %s gauge\n", g.name)
-		fmt.Fprintf(w, "%s %g\n", g.name, g.read())
+	for _, render := range m.extraBlocks {
+		render(w)
 	}
 	m.Latency.WritePrometheus(w, "adrias_serve_request_duration_seconds",
 		"Request latency through the admission pipeline.")

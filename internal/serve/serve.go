@@ -198,8 +198,7 @@ func (s *Service) Place(ctx context.Context, req PlaceRequest) (PlaceResult, err
 		s.met.ReqOverload.Add(1)
 		return PlaceResult{}, ErrOverloaded
 	}
-	select {
-	case r := <-p.done:
+	deliver := func(r PlaceResult) (PlaceResult, error) {
 		s.met.Latency.ObserveDuration(time.Since(start))
 		if r.Err != nil {
 			s.met.ReqError.Add(1)
@@ -218,6 +217,24 @@ func (s *Service) Place(ctx context.Context, req PlaceRequest) (PlaceResult, err
 			s.met.Fallbacks.Add(1)
 		}
 		return r, nil
+	}
+	select {
+	case r := <-p.done:
+		return deliver(r)
+	case <-s.drained:
+		// Shutdown race: this request passed the closed check but may have
+		// been enqueued after the drain loop's final sweep — nobody will
+		// ever serve it. The batcher delivers results (buffered, never
+		// blocking) before it closes drained, so a still-empty done channel
+		// here means the request was truly stranded: fail fast with
+		// ErrClosed instead of letting the caller wait out its deadline.
+		select {
+		case r := <-p.done:
+			return deliver(r)
+		default:
+			s.met.ReqClosed.Add(1)
+			return PlaceResult{}, ErrClosed
+		}
 	case <-ctx.Done():
 		s.met.ReqDeadline.Add(1)
 		s.met.Latency.ObserveDuration(time.Since(start))

@@ -33,4 +33,35 @@ func (f *Fabric) RegisterMetrics(r *obs.Registry, guard func(read func())) {
 		snap(func(_ Counters, t TickResult) float64 { return t.LatencyCycles }))
 	r.Gauge("adrias_thymesis_utilization", "Offered/cap utilization of the latest tick.",
 		snap(func(_ Counters, t TickResult) float64 { return t.Utilization }))
+	degSnap := func(pick func(Degradation) float64) func() float64 {
+		return func() float64 {
+			var v float64
+			guard(func() { v = pick(f.deg) })
+			return v
+		}
+	}
+	r.Gauge("adrias_thymesis_degraded", "1 while the link is impaired (fault injection), else 0.",
+		degSnap(func(d Degradation) float64 {
+			if d.Active() {
+				return 1
+			}
+			return 0
+		}))
+	r.Gauge("adrias_thymesis_latency_scale", "Imposed channel-latency inflation factor (1 = healthy).",
+		degSnap(func(d Degradation) float64 {
+			if d.LatencyScale > 1 {
+				return d.LatencyScale
+			}
+			return 1
+		}))
+	r.Gauge("adrias_thymesis_bandwidth_scale", "Imposed throughput-cap fraction (1 = healthy, 0 = link down).",
+		degSnap(func(d Degradation) float64 {
+			if d.Down {
+				return 0
+			}
+			if d.BandwidthScale > 0 && d.BandwidthScale < 1 {
+				return d.BandwidthScale
+			}
+			return 1
+		}))
 }

@@ -103,12 +103,35 @@ type TickResult struct {
 	FlitsTx, FlitsRx float64
 }
 
+// Degradation is an externally imposed fabric impairment — the link states
+// a fault injector (internal/faults) drives. The zero value means a healthy
+// link. Scales leave the calibrated Config untouched, so clearing the
+// degradation restores the paper's R1/R2 behaviour exactly.
+type Degradation struct {
+	// LatencyScale > 1 inflates the R2 channel latency (and with it the
+	// effective remote-access latency) by that factor. Values ≤ 1 are
+	// treated as no inflation.
+	LatencyScale float64
+	// BandwidthScale in (0,1) clamps the effective throughput cap (R1) to
+	// that fraction. Values ≤ 0 or ≥ 1 are treated as no clamp.
+	BandwidthScale float64
+	// Down marks a link flap/partition: no bandwidth is granted at all and
+	// the channel latency sits at the back-pressure plateau.
+	Down bool
+}
+
+// Active reports whether the degradation impairs the link in any way.
+func (d Degradation) Active() bool {
+	return d.Down || d.LatencyScale > 1 || (d.BandwidthScale > 0 && d.BandwidthScale < 1)
+}
+
 // Fabric is the point-to-point ThymesisFlow link between the borrower and
 // the lender node. Not safe for concurrent use.
 type Fabric struct {
 	cfg  Config
 	ctrs Counters
 	last TickResult
+	deg  Degradation
 }
 
 // New returns a Fabric with the given configuration.
@@ -131,6 +154,17 @@ func (f *Fabric) Last() TickResult { return f.last }
 
 // Reset clears the cumulative counters.
 func (f *Fabric) Reset() { f.ctrs = Counters{}; f.last = TickResult{} }
+
+// SetDegradation imposes (or, with the zero value, clears) a link
+// impairment. It takes effect from the next Tick; the calibrated Config is
+// never modified.
+func (f *Fabric) SetDegradation(d Degradation) { f.deg = d }
+
+// Degradation returns the currently imposed impairment.
+func (f *Fabric) Degradation() Degradation { return f.deg }
+
+// Degraded reports whether the link is currently impaired.
+func (f *Fabric) Degraded() bool { return f.deg.Active() }
 
 // MaxMinFair allocates capacity among demands with max-min fairness
 // (progressive filling): no demand receives more than it asked for, unused
@@ -206,6 +240,12 @@ func (f *Fabric) Tick(demandsBytesPerSec []float64, readFraction, dt float64) Ti
 	readFraction = math.Min(math.Max(readFraction, 0), 1)
 
 	capBytes := f.cfg.CapBps / 8
+	if s := f.deg.BandwidthScale; s > 0 && s < 1 {
+		capBytes *= s
+	}
+	if f.deg.Down {
+		capBytes = 0
+	}
 	alloc := MaxMinFair(demandsBytesPerSec, capBytes)
 
 	var offered, delivered float64
@@ -215,7 +255,15 @@ func (f *Fabric) Tick(demandsBytesPerSec []float64, readFraction, dt float64) Ti
 		}
 		delivered += alloc[i]
 	}
-	util := offered / capBytes
+	// Utilization is offered/cap against the (possibly clamped) effective
+	// capacity. A downed link with pending demand saturates outright.
+	var util float64
+	switch {
+	case capBytes > 0:
+		util = offered / capBytes
+	case offered > 0:
+		util = math.Inf(1)
+	}
 
 	// Flit accounting: every byte moved crosses the wire as 32 B flits.
 	// A read moves a small request flit out (tx) and data flits back (rx);
@@ -228,6 +276,9 @@ func (f *Fabric) Tick(demandsBytesPerSec []float64, readFraction, dt float64) Ti
 	flitsTx := txBytes / f.cfg.FlitBytes
 
 	lat := f.cfg.latencyCycles(util)
+	if s := f.deg.LatencyScale; s > 1 {
+		lat *= s
+	}
 	res := TickResult{
 		Allocated:      alloc,
 		DeliveredBps:   delivered * 8,

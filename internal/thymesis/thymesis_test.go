@@ -248,3 +248,94 @@ func TestLatencyPropertyMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDegradationBandwidthClamp: a clamped cap binds before the calibrated
+// R1 bound and clearing the degradation restores it exactly.
+func TestDegradationBandwidthClamp(t *testing.T) {
+	f := New(DefaultConfig())
+	demand := []float64{1e9} // 8 Gbps, saturating either way
+	healthy := f.Tick(demand, 0.7, 1).DeliveredBps
+
+	f.SetDegradation(Degradation{BandwidthScale: 0.25})
+	if !f.Degraded() {
+		t.Fatal("clamped fabric should report degraded")
+	}
+	clamped := f.Tick(demand, 0.7, 1)
+	if want := healthy * 0.25; math.Abs(clamped.DeliveredBps-want) > 1 {
+		t.Errorf("clamped delivery = %g, want %g", clamped.DeliveredBps, want)
+	}
+	// The clamp also drives the link into back-pressure at lower offered load.
+	if clamped.LatencyCycles <= 350 {
+		t.Errorf("saturated clamped link should back-pressure, got %g cycles", clamped.LatencyCycles)
+	}
+
+	f.SetDegradation(Degradation{})
+	if f.Degraded() {
+		t.Fatal("cleared degradation must report healthy")
+	}
+	if got := f.Tick(demand, 0.7, 1).DeliveredBps; math.Abs(got-healthy) > 1 {
+		t.Errorf("recovery delivery = %g, want %g", got, healthy)
+	}
+}
+
+// TestDegradationLatencyInflation: LatencyScale multiplies the R2 latency
+// (and the effective remote-access latency) without touching bandwidth.
+func TestDegradationLatencyInflation(t *testing.T) {
+	f := New(DefaultConfig())
+	demand := []float64{1e8} // far below the cap
+	base := f.Tick(demand, 0.7, 1)
+
+	f.SetDegradation(Degradation{LatencyScale: 2.5})
+	infl := f.Tick(demand, 0.7, 1)
+	if want := base.LatencyCycles * 2.5; math.Abs(infl.LatencyCycles-want) > 1e-9 {
+		t.Errorf("latency = %g, want %g", infl.LatencyCycles, want)
+	}
+	if want := base.RemoteAccessNs * 2.5; math.Abs(infl.RemoteAccessNs-want) > 1e-9 {
+		t.Errorf("remote access = %g ns, want %g", infl.RemoteAccessNs, want)
+	}
+	if math.Abs(infl.DeliveredBps-base.DeliveredBps) > 1 {
+		t.Errorf("latency inflation must not change bandwidth: %g vs %g",
+			infl.DeliveredBps, base.DeliveredBps)
+	}
+}
+
+// TestDegradationLinkDown: a downed link grants nothing, saturates, and no
+// division blow-up leaks NaN into the telemetry.
+func TestDegradationLinkDown(t *testing.T) {
+	f := New(DefaultConfig())
+	f.SetDegradation(Degradation{Down: true})
+	res := f.Tick([]float64{1e8, 2e8}, 0.5, 1)
+	if res.DeliveredBps != 0 || res.FlitsTx != 0 || res.FlitsRx != 0 {
+		t.Errorf("downed link moved data: %+v", res)
+	}
+	if res.LatencyCycles < 899 {
+		t.Errorf("downed link with pending demand should sit at the plateau, got %g", res.LatencyCycles)
+	}
+	if math.IsNaN(res.Utilization) || math.IsNaN(res.LatencyCycles) {
+		t.Errorf("NaN in downed-link telemetry: %+v", res)
+	}
+	// Idle downed link: still no NaN.
+	idle := f.Tick([]float64{}, 0.5, 1)
+	if math.IsNaN(idle.Utilization) || math.IsNaN(idle.LatencyCycles) {
+		t.Errorf("NaN in idle downed-link telemetry: %+v", idle)
+	}
+}
+
+func TestDegradationActive(t *testing.T) {
+	cases := []struct {
+		d    Degradation
+		want bool
+	}{
+		{Degradation{}, false},
+		{Degradation{LatencyScale: 1}, false},
+		{Degradation{BandwidthScale: 1}, false},
+		{Degradation{LatencyScale: 1.5}, true},
+		{Degradation{BandwidthScale: 0.5}, true},
+		{Degradation{Down: true}, true},
+	}
+	for _, c := range cases {
+		if got := c.d.Active(); got != c.want {
+			t.Errorf("Active(%+v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# End-to-end chaos smoke test of the graceful-degradation layer: start
+# adrias-serve with a deterministic fault schedule armed (a predictor outage
+# overlapping a fabric link flap, then a latency inflation), drive sustained
+# load through the adrias-bench chaos harness, and require:
+#
+#   - every answered request carries a valid placement (no panics, no 5xx),
+#   - the circuit breaker is observed open and then recovered on /healthz,
+#   - /metrics records at least one breaker trip AND one recovery,
+#   - /debug/decisions retains breaker-open fallback decisions,
+#   - SIGTERM still drains cleanly after the chaos run.
+#
+# The clock runs at 4 simulated seconds per wall second (-tick 250ms), so the
+# schedule below (sim seconds: outage 4–44, flap 8–32, latency 44–56) plays
+# out in ~14 wall seconds; the 20 s harness covers it plus recovery. With
+# ARTIFACT_DIR set, the scrapes are saved there for upload as a CI artifact.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+port="${PORT:-7743}"
+tmp="$(mktemp -d)"
+scrapes="${ARTIFACT_DIR:-$tmp/scrapes}"
+mkdir -p "$scrapes"
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/adrias-serve" ./cmd/adrias-serve
+go build -o "$tmp/adrias-bench" ./cmd/adrias-bench
+
+spec='predict-error@4+40;fabric-flap@8+24;fabric-latency@44+12=2.5'
+"$tmp/adrias-serve" -listen "127.0.0.1:$port" -tick 250ms \
+  -fault-spec "$spec" -breaker-threshold 3 -breaker-cooldown 8 \
+  >"$tmp/serve.log" 2>&1 &
+pid=$!
+
+ready=""
+for _ in $(seq 1 120); do
+  if curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+    ready=1
+    break
+  fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "adrias-serve exited before becoming healthy:" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+  fi
+  sleep 1
+done
+if [ -z "$ready" ]; then
+  echo "adrias-serve did not become healthy in time:" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+fi
+
+# The chaos harness exits non-zero unless degradation was graceful end to
+# end: valid placements throughout, degraded /healthz, breaker open, then
+# recovered.
+"$tmp/adrias-bench" -target "http://127.0.0.1:$port" -chaos \
+  -chaos-duration 20s -conc 6 >"$scrapes/chaos.txt" 2>&1 &
+bench=$!
+
+# The decision audit ring retains only the most recent decisions, and the
+# healthy traffic after recovery flushes the outage out of it — poll
+# /debug/decisions while the fault schedule plays out and keep the first
+# scrape that caught breaker-open fallbacks in the ring.
+sawopen=""
+for _ in $(seq 1 30); do
+  decisions="$(curl -fsS "http://127.0.0.1:$port/debug/decisions" || true)"
+  # Substring match, not `echo | grep -q`: grep -q exits at the first hit
+  # and under pipefail the echo's SIGPIPE would read as failure.
+  case "$decisions" in
+  *'"breaker-open"'*)
+    if [ -z "$sawopen" ]; then
+      sawopen=1
+      echo "$decisions" >"$scrapes/decisions.json"
+    fi
+    ;;
+  esac
+  sleep 0.5
+done
+if [ -z "$sawopen" ]; then
+  echo "$decisions" >"$scrapes/decisions.json"
+fi
+
+wait "$bench" || {
+  echo "chaos harness failed:" >&2
+  cat "$scrapes/chaos.txt" >&2
+  exit 1
+}
+cat "$scrapes/chaos.txt"
+
+# The breaker lifecycle and the injected faults must be visible in /metrics.
+metrics="$(curl -fsS "http://127.0.0.1:$port/metrics")"
+echo "$metrics" >"$scrapes/metrics.txt"
+trips="$(echo "$metrics" | awk '/^adrias_serve_breaker_trips_total /{print $2}')"
+recoveries="$(echo "$metrics" | awk '/^adrias_serve_breaker_recoveries_total /{print $2}')"
+if [ -z "$trips" ] || [ "$trips" -lt 1 ]; then
+  echo "breaker never tripped (adrias_serve_breaker_trips_total=${trips:-missing}):" >&2
+  echo "$metrics" | grep adrias_serve_breaker >&2
+  exit 1
+fi
+if [ -z "$recoveries" ] || [ "$recoveries" -lt 1 ]; then
+  echo "breaker never recovered (adrias_serve_breaker_recoveries_total=${recoveries:-missing}):" >&2
+  echo "$metrics" | grep adrias_serve_breaker >&2
+  exit 1
+fi
+for series in adrias_faults_activations_total adrias_faults_injected_total \
+  adrias_serve_degraded adrias_thymesis_degraded; do
+  echo "$metrics" | grep -q "^$series" || {
+    echo "missing $series in /metrics" >&2
+    exit 1
+  }
+done
+
+# A mid-outage audit scrape must have held breaker-open fallback decisions:
+# requests served off the cached/safe-local path while the predictor was
+# down, with the reason recorded.
+if [ -z "$sawopen" ]; then
+  echo "no breaker-open decisions observed in /debug/decisions during the outage" >&2
+  exit 1
+fi
+
+# Nothing may have panicked under fault injection.
+if grep -qi 'panic' "$tmp/serve.log"; then
+  echo "panic in server log:" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+fi
+
+kill -TERM "$pid"
+wait "$pid" # non-zero (under set -e) if the drain was not clean
+pid=""
+cp "$tmp/serve.log" "$scrapes/serve.log"
+echo "chaos smoke OK"
