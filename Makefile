@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet serve-smoke chaos-smoke trace-overhead ci
+.PHONY: build test race bench bench-gate fmt vet serve-smoke chaos-smoke trace-overhead ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,13 @@ race:
 BENCH ?= ^(BenchmarkTable1SystemState|BenchmarkPerfFitWorkers)$$
 bench:
 	$(GO) test -run='^$$' -bench='$(BENCH)' -benchtime=1x .
+
+## bench-gate: the quantized-fast-path gate — batch-8 quant vs float
+## benchmarks at one core plus the decision-flip contract replay; writes
+## BENCH_quantfast.json and fails on >0 allocs/op, flip rate > 1%, or a
+## serve speedup below 1.5x. Tunables: FLIP_BUDGET, MIN_SPEEDUP, BENCHTIME.
+bench-gate:
+	./scripts/bench_gate.sh
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -46,4 +53,4 @@ chaos-smoke:
 trace-overhead:
 	./scripts/trace_overhead.sh
 
-ci: build fmt vet test race bench serve-smoke chaos-smoke trace-overhead
+ci: build fmt vet test race bench bench-gate serve-smoke chaos-smoke trace-overhead

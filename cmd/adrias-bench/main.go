@@ -6,7 +6,7 @@
 // Usage:
 //
 //	adrias-bench [-scale fast|medium|paper] [-run id[,id...]] [-list]
-//	             [-cpuprofile file] [-memprofile file]
+//	             [-quant] [-cpuprofile file] [-memprofile file]
 //	adrias-bench -target http://127.0.0.1:7700 [-n 200] [-conc 8]
 //	             [-rate 0] [-apps gmm,redis,...] [-dry-run] [-deadline-ms 0]
 //	             [-dump-decisions]
@@ -39,6 +39,7 @@ func main() {
 func run() int {
 	scaleFlag := flag.String("scale", "medium", "campaign scale: fast, medium, or paper")
 	runFlag := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	quantFlag := flag.Bool("quant", false, "run the int8 quantization contract suite (alias for -run quantflip; prints a machine-parsable decision_flip_rate line)")
 	listFlag := flag.Bool("list", false, "list experiment ids and exit")
 	targetFlag := flag.String("target", "", "adrias-serve base URL; when set, run the load generator instead of experiments")
 	nFlag := flag.Int("n", 200, "load generator: total requests")
@@ -106,6 +107,13 @@ func run() int {
 	}
 
 	var ds []experiments.Descriptor
+	if *quantFlag {
+		if *runFlag != "" {
+			*runFlag += ",quantflip"
+		} else {
+			*runFlag = "quantflip"
+		}
+	}
 	if *runFlag == "" {
 		ds = experiments.All()
 	} else {

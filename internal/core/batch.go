@@ -126,15 +126,32 @@ func finitePred(v float64) bool {
 // present) receives the "signature_lookup", model-prediction and "decide"
 // stage spans.
 func (o *Orchestrator) DecideBatch(ctx context.Context, profiles []*workload.Profile, c *cluster.Cluster) []Decision {
+	ds := make([]Decision, len(profiles))
+	o.DecideBatchInto(ctx, profiles, c, ds)
+	return ds
+}
+
+// DecideBatchInto is the allocation-free core of DecideBatch: it decides
+// every profile into the caller-owned ds (len(profiles) entries) with all
+// batch scratch held by the orchestrator. In steady state — fixed batch
+// shape, warm arenas, decision ring at its retention bound, and an Infer
+// path that predicts into arenas (QuantPredictor) — a decide allocates
+// nothing. Like DecideBatch it must not run concurrently with itself.
+func (o *Orchestrator) DecideBatchInto(ctx context.Context, profiles []*workload.Profile, c *cluster.Cluster, ds []Decision) {
 	n := len(profiles)
-	ds := make([]Decision, n)
-	window := o.Watch.Window(c)
+	if len(ds) != n {
+		panic("core: DecideBatchInto output length mismatch")
+	}
+	window := o.Watch.WindowInto(c)
 
 	// Assemble the prediction queries for warm apps with enough history:
 	// BE asks local+remote, LC asks remote only.
 	endSig := obs.StartSpan(ctx, "signature_lookup")
-	var queries []PerfQuery
-	qStart := make([]int, n) // index of profile i's first query, -1 when none
+	if cap(o.batStart) < n {
+		o.batStart = make([]int, n)
+	}
+	queries := o.batQueries[:0]
+	qStart := o.batStart[:n] // index of profile i's first query, -1 when none
 	for i, p := range profiles {
 		ds[i] = Decision{App: p.Name, Class: p.Class}
 		qStart[i] = -1
@@ -154,6 +171,7 @@ func (o *Orchestrator) DecideBatch(ctx context.Context, profiles []*workload.Pro
 				PerfQuery{Name: p.Name, Class: ClassBE, Tier: memsys.TierRemote})
 		}
 	}
+	o.batQueries = queries // keep any growth for the next batch
 	endSig()
 	var preds mathx.Vector
 	var errs []error
@@ -246,5 +264,4 @@ func (o *Orchestrator) DecideBatch(ctx context.Context, profiles []*workload.Pro
 	for _, d := range ds {
 		o.record(d)
 	}
-	return ds
 }

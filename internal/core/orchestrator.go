@@ -105,6 +105,11 @@ type Orchestrator struct {
 	start int        // index of the oldest retained decision
 	total uint64     // decisions ever recorded
 	stats OffloadStats
+
+	// DecideBatchInto scratch, reused across batches (the decide path is
+	// serialized by the caller — the serve engine's mutex).
+	batQueries []PerfQuery
+	batStart   []int
 }
 
 // NewOrchestrator builds the Adrias scheduler.

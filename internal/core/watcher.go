@@ -24,6 +24,12 @@ type Watcher struct {
 	HistTicks int
 	// Steps is the number of resampled steps handed to the models.
 	Steps int
+
+	// WindowInto scratch: raw tick rows and the resampled window, each a
+	// row-view slice over one flat backing vector. Like the models, a
+	// Watcher using WindowInto is not safe for concurrent use (the serve
+	// engine serializes the decide path under its mutex).
+	raw, out []mathx.Vector
 }
 
 // NewWatcher builds a watcher matching a performance-model dataset spec.
@@ -48,6 +54,36 @@ func (w *Watcher) Window(c *cluster.Cluster) []mathx.Vector {
 		rows[i] = mathx.Vector(r.Sample.Vector())
 	}
 	return models.ResampleSeq(rows, w.Steps)
+}
+
+// WindowInto is the allocation-free twin of Window for the serve hot path:
+// it stages the current history window into watcher-owned scratch and
+// returns it, or nil when not yet Ready. The returned rows are valid until
+// the next WindowInto call; callers (DecideBatchInto) consume them within
+// the same batch.
+func (w *Watcher) WindowInto(c *cluster.Cluster) []mathx.Vector {
+	hist := c.History()
+	if len(hist) < w.HistTicks {
+		return nil
+	}
+	M := memsys.NumMetrics
+	if len(w.raw) != w.HistTicks || len(w.out) != w.Steps {
+		rawBuf := mathx.NewVector(w.HistTicks * M)
+		w.raw = make([]mathx.Vector, w.HistTicks)
+		for i := range w.raw {
+			w.raw[i] = rawBuf[i*M : (i+1)*M]
+		}
+		outBuf := mathx.NewVector(w.Steps * M)
+		w.out = make([]mathx.Vector, w.Steps)
+		for i := range w.out {
+			w.out[i] = outBuf[i*M : (i+1)*M]
+		}
+	}
+	for i, r := range hist[len(hist)-w.HistTicks:] {
+		r.Sample.VectorInto(w.raw[i])
+	}
+	models.ResampleSeqInto(w.out, w.raw)
+	return w.out
 }
 
 // TraceBetween extracts the raw metric trace between two simulation times —

@@ -31,8 +31,8 @@ func TestScalesWellFormed(t *testing.T) {
 
 func TestRegistryAndByID(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("experiments = %d, want 17", len(all))
+	if len(all) != 18 {
+		t.Fatalf("experiments = %d, want 18", len(all))
 	}
 	seen := map[string]bool{}
 	for _, d := range all {

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"adrias/internal/core"
+	"adrias/internal/dataset"
+	"adrias/internal/models"
+)
+
+// quantFlipSuite is one replay suite: a capped BE sample draw (matching an
+// accuracy experiment's selection seeds) whose held-out half is re-decided
+// under both predictors.
+type quantFlipSuite struct {
+	name      string
+	capSeed   int64 // capList draw, matching the accuracy experiment
+	splitSeed int64 // train/test split over the capped draw
+}
+
+// QuantFlip measures the int8 inference twin's decision-flip rate — the
+// contract behind serving quantized (DESIGN.md §12): replay the Fig. 13 and
+// Fig. 15 BE sample suites through the β-slack placement rule with the
+// trained float stack and its quantized twin, across the paper's β sweep,
+// and count disagreeing tier verdicts. The quantized side runs the full
+// quantized pipeline — int8 system-state forecast feeding the int8
+// performance model — so Ŝ quantization error is included, exactly as
+// EngineConfig.Quantized serves it. The bench-gate CI job parses the
+// decision_flip_rate line and fails the build past the 1% budget.
+func (s *Suite) QuantFlip() (*Report, error) {
+	r := &Report{
+		ID:    "quantflip",
+		Title: "Int8 inference twin: decision-flip rate vs float",
+		Paper: "engineering contract — flip rate ≤ 1% across the β sweep (no bit-identity claim)",
+	}
+	sysModel, err := s.System()
+	if err != nil {
+		return nil, err
+	}
+	beAll, _, err := s.PerfSamples()
+	if err != nil {
+		return nil, err
+	}
+	qsys := models.QuantizeSysState(sysModel.Pred.Sys)
+	qbe := models.QuantizePerf(sysModel.Pred.BE)
+
+	suites := []quantFlipSuite{
+		{"fig13", 21, 31},
+		{"fig15", 23, 33},
+	}
+	betas := s.Scale.Betas
+	if len(betas) == 0 {
+		betas = []float64{1.0, 0.9, 0.8, 0.7, 0.6}
+	}
+	totFlips, totDecisions := 0, 0
+	for _, su := range suites {
+		be := capList(beAll, s.Scale.MaxPerfSamples, su.capSeed)
+		models.AttachPredictions(be, sysModel.Pred.Sys)
+		_, testIdx := dataset.Split(len(be), 0.6, su.splitSeed)
+
+		// Each held-out sample becomes a local/remote query pair; the float
+		// side keeps the float Ŝ, the quantized side re-forecasts Ŝ through
+		// the int8 system-state model.
+		fvars := make([]models.PerfSample, 0, 2*len(testIdx))
+		qvars := make([]models.PerfSample, 0, 2*len(testIdx))
+		for _, i := range testIdx {
+			qFut := qsys.Predict(be[i].Past)
+			for _, remote := range []float64{0, 1} {
+				v := be[i]
+				v.Remote = remote
+				fvars = append(fvars, v)
+				v.FuturePred = qFut
+				qvars = append(qvars, v)
+			}
+		}
+		fp, ferrs := sysModel.Pred.BE.PredictEach(fvars, models.FuturePredicted)
+		qp, qerrs := qbe.PredictEach(qvars, models.FuturePredicted)
+
+		suiteFlips, suiteDecisions := 0, 0
+		for _, beta := range betas {
+			flips, decisions := 0, 0
+			for k := 0; k+1 < len(fvars); k += 2 {
+				if ferrs[k] != nil || ferrs[k+1] != nil || qerrs[k] != nil || qerrs[k+1] != nil {
+					continue
+				}
+				decisions++
+				if core.DecideBE(beta, fp[k], fp[k+1]) != core.DecideBE(beta, qp[k], qp[k+1]) {
+					flips++
+				}
+			}
+			r.Addf("%s β=%.1f: %d/%d decisions flipped (%.3f%%)",
+				su.name, beta, flips, decisions, 100*rate(flips, decisions))
+			suiteFlips += flips
+			suiteDecisions += decisions
+		}
+		totFlips += suiteFlips
+		totDecisions += suiteDecisions
+
+		cal, err := qbe.Calibrate(sysModel.Pred.BE, fvars, models.FuturePredicted)
+		if err != nil {
+			return nil, err
+		}
+		r.Addf("%s calibration: %d samples, mean rel err %.4f, max %.4f",
+			su.name, cal.N, cal.MeanRelErr, cal.MaxRelErr)
+	}
+
+	flipRate := rate(totFlips, totDecisions)
+	// Machine-parsable: scripts/bench_gate.sh extracts this line into
+	// BENCH_quantfast.json and enforces the budget in CI.
+	r.Addf("decision_flip_rate %.6f", flipRate)
+	r.Checkf(totDecisions > 0, "replayed-decisions",
+		"%d tier decisions replayed across %d suites × %d betas", totDecisions, len(suites), len(betas))
+	r.Checkf(flipRate <= 0.01, "flip-budget",
+		"flip rate %.4f%% within the 1%% budget (%d/%d)", 100*flipRate, totFlips, totDecisions)
+	return r, nil
+}
+
+func rate(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

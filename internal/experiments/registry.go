@@ -32,6 +32,7 @@ func All() []Descriptor {
 		{"fig17", "LC QoS orchestration", (*Suite).Fig17},
 		{"traffic", "Fabric data traffic", (*Suite).Traffic},
 		{"ablation", "LSTM vs linear/persistence baselines (§VII)", (*Suite).Ablation},
+		{"quantflip", "Int8 decision-flip rate (quantization contract)", (*Suite).QuantFlip},
 	}
 }
 

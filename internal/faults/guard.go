@@ -26,16 +26,12 @@ type GuardedPredictor struct {
 	Breaker *Breaker
 
 	mu       sync.Mutex
-	lastGood map[string]float64
+	lastGood map[core.PerfQuery]float64
 }
 
 // NewGuardedPredictor stacks the breaker over inner.
 func NewGuardedPredictor(inner core.PerfInference, b *Breaker) *GuardedPredictor {
-	return &GuardedPredictor{Inner: inner, Breaker: b, lastGood: make(map[string]float64)}
-}
-
-func queryKey(q core.PerfQuery) string {
-	return fmt.Sprintf("%s/%d/%d", q.Name, q.Class, q.Tier)
+	return &GuardedPredictor{Inner: inner, Breaker: b, lastGood: make(map[core.PerfQuery]float64)}
 }
 
 // PredictPerfBatch implements core.PerfInference.
@@ -71,7 +67,7 @@ func (g *GuardedPredictor) PredictPerfBatch(ctx context.Context, queries []core.
 	g.mu.Lock()
 	for i, q := range queries {
 		if errs[i] == nil && finite(preds[i]) {
-			g.lastGood[queryKey(q)] = preds[i]
+			g.lastGood[q] = preds[i]
 		}
 	}
 	g.mu.Unlock()
@@ -85,7 +81,7 @@ func (g *GuardedPredictor) cached(queries []core.PerfQuery) (mathx.Vector, []err
 	errs := make([]error, len(queries))
 	g.mu.Lock()
 	for i, q := range queries {
-		preds[i] = g.lastGood[queryKey(q)]
+		preds[i] = g.lastGood[q]
 		errs[i] = core.ErrBreakerOpen
 	}
 	g.mu.Unlock()

@@ -1,0 +1,264 @@
+// Int8 fixed-point kernels for the frozen inference fast path. Weights are
+// quantized once per model (symmetric per-row: zero point 0, scale
+// max|w|/127) and activations on the fly (affine per-row: scale + zero
+// point over the row's min/max), so a float GEMM becomes an int8 dot
+// product accumulated in int32 with a cheap per-element dequantize:
+//
+//	x ≈ s·(q − z)   ⇒   Σ xa·xb = sa·sb·(Σ qa·qb − za·Σqb − zb·Σqa + K·za·zb)
+//
+// The Σq row sums are precomputed at quantization time (RowSum), so the
+// correction costs four multiplies per output element, not a pass over K.
+// Unlike the float kernels, the quantized path makes no bit-identity
+// promise: its contract is the measured decision-flip rate against the
+// float predictors (see internal/experiments, DESIGN.md §12).
+package mathx
+
+import "math"
+
+// QuantMatrix is a row-major int8 matrix with per-row affine quantization
+// parameters: row i of the encoded float matrix is Scale[i]·(Data[i][j] −
+// Zero[i]). RowSum caches Σ_j Data[i][j] for the zero-point correction.
+type QuantMatrix struct {
+	Rows, Cols int
+	Data       []int8
+	Scale      []float64
+	Zero       []int32
+	RowSum     []int32
+}
+
+// NewQuantMatrix returns a zero quantized matrix of the given shape.
+func NewQuantMatrix(rows, cols int) *QuantMatrix {
+	if rows < 0 || cols < 0 {
+		panic("mathx: negative matrix dimension")
+	}
+	return &QuantMatrix{
+		Rows: rows, Cols: cols,
+		Data:   make([]int8, rows*cols),
+		Scale:  make([]float64, rows),
+		Zero:   make([]int32, rows),
+		RowSum: make([]int32, rows),
+	}
+}
+
+// EnsureQuantMatrix returns m reshaped to rows×cols, reusing the backing
+// slices when capacity allows — the QuantMatrix counterpart of
+// EnsureMatrix. Contents after a reshape are unspecified.
+func EnsureQuantMatrix(m *QuantMatrix, rows, cols int) *QuantMatrix {
+	if rows < 0 || cols < 0 {
+		panic("mathx: negative matrix dimension")
+	}
+	n := rows * cols
+	if m == nil || cap(m.Data) < n || cap(m.Scale) < rows {
+		return NewQuantMatrix(rows, cols)
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:n]
+	m.Scale = m.Scale[:rows]
+	m.Zero = m.Zero[:rows]
+	m.RowSum = m.RowSum[:rows]
+	return m
+}
+
+// QuantizeWeightsPerRow quantizes a float weight matrix symmetrically per
+// row: zero point 0, scale max|w|/127 (rows of all zeros get scale 0). The
+// result is frozen — weights never re-quantize at inference time.
+func QuantizeWeightsPerRow(src *Matrix) *QuantMatrix {
+	q := NewQuantMatrix(src.Rows, src.Cols)
+	for i := 0; i < src.Rows; i++ {
+		row := src.Data[i*src.Cols : (i+1)*src.Cols]
+		var maxAbs float64
+		for _, x := range row {
+			if a := math.Abs(x); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		qrow := q.Data[i*q.Cols : (i+1)*q.Cols]
+		if maxAbs == 0 {
+			q.Scale[i] = 0
+			for j := range qrow {
+				qrow[j] = 0
+			}
+			continue
+		}
+		scale := maxAbs / 127
+		inv := 1 / scale
+		var sum int32
+		for j, x := range row {
+			v := int32(math.RoundToEven(x * inv))
+			if v > 127 {
+				v = 127
+			} else if v < -127 {
+				v = -127
+			}
+			qrow[j] = int8(v)
+			sum += v
+		}
+		q.Scale[i] = scale
+		q.RowSum[i] = sum
+	}
+	return q
+}
+
+// QuantizeRowsAffine quantizes every row of src into dst with a dynamic
+// per-row affine mapping: scale (max−min)/255, zero point chosen so the
+// row's range maps onto [−128, 127]. A constant row encodes as scale 0 with
+// the constant carried in… nothing — the dequantized product contributes
+// scale·(q−z) = 0, so QuantMulNT handles constant rows via the zero-point
+// correction alone only when the constant is 0. To keep non-zero constant
+// rows exact enough, they quantize with scale |c|/127 around zero instead.
+// dst must already have src's shape (EnsureQuantMatrix).
+func QuantizeRowsAffine(dst *QuantMatrix, src *Matrix) {
+	checkLen(dst.Rows, src.Rows)
+	checkLen(dst.Cols, src.Cols)
+	for i := 0; i < src.Rows; i++ {
+		row := src.Data[i*src.Cols : (i+1)*src.Cols]
+		lo, hi := row[0], row[0]
+		for _, x := range row[1:] {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		qrow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		if hi == lo {
+			// Constant row: symmetric around zero keeps it representable.
+			if lo == 0 {
+				dst.Scale[i], dst.Zero[i], dst.RowSum[i] = 0, 0, 0
+				for j := range qrow {
+					qrow[j] = 0
+				}
+				continue
+			}
+			scale := math.Abs(lo) / 127
+			v := int32(math.RoundToEven(lo / scale))
+			dst.Scale[i], dst.Zero[i] = scale, 0
+			var sum int32
+			for j := range qrow {
+				qrow[j] = int8(v)
+				sum += v
+			}
+			dst.RowSum[i] = sum
+			continue
+		}
+		scale := (hi - lo) / 255
+		inv := 1 / scale
+		zero := int32(math.RoundToEven(-128 - lo*inv))
+		if zero > 127 {
+			zero = 127
+		} else if zero < -128 {
+			zero = -128
+		}
+		var sum int32
+		for j, x := range row {
+			v := int32(math.RoundToEven(x*inv)) + zero
+			if v > 127 {
+				v = 127
+			} else if v < -128 {
+				v = -128
+			}
+			qrow[j] = int8(v)
+			sum += v
+		}
+		dst.Scale[i] = scale
+		dst.Zero[i] = zero
+		dst.RowSum[i] = sum
+	}
+}
+
+// QuantMulNT computes dst = dequant(a)·dequant(b)ᵀ — the int8 counterpart
+// of MulNT: dst[i][j] is the dot product of row i of a with row j of b,
+// accumulated in int32 and dequantized with the per-row zero-point
+// correction. a is typically a dynamically quantized activation block and b
+// a frozen weight matrix (Zero 0), but the correction handles the general
+// affine case. dst must not alias anything; int32 accumulation is exact for
+// K ≤ 2¹⁶ (|qa·qb| ≤ 2¹⁴ per term), far above any layer width here.
+func QuantMulNT(dst *Matrix, a, b *QuantMatrix) {
+	checkLen(a.Cols, b.Cols)
+	checkLen(dst.Rows, a.Rows)
+	checkLen(dst.Cols, b.Rows)
+	k, n := a.Cols, b.Rows
+	kk := int32(k)
+	i := 0
+	for ; i+4 <= a.Rows; i += 4 {
+		a0 := a.Data[i*k : i*k+k]
+		a1 := a.Data[(i+1)*k : (i+1)*k+k]
+		a2 := a.Data[(i+2)*k : (i+2)*k+k]
+		a3 := a.Data[(i+3)*k : (i+3)*k+k]
+		d0 := dst.Data[i*n : i*n+n]
+		d1 := dst.Data[(i+1)*n : (i+1)*n+n]
+		d2 := dst.Data[(i+2)*n : (i+2)*n+n]
+		d3 := dst.Data[(i+3)*n : (i+3)*n+n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : j*k+k]
+			var s0, s1, s2, s3 int32
+			for p, w := range brow {
+				wi := int32(w)
+				s0 += int32(a0[p]) * wi
+				s1 += int32(a1[p]) * wi
+				s2 += int32(a2[p]) * wi
+				s3 += int32(a3[p]) * wi
+			}
+			sb, zb, sumB := b.Scale[j], b.Zero[j], b.RowSum[j]
+			d0[j] = a.Scale[i] * sb * float64(s0-a.Zero[i]*sumB-zb*a.RowSum[i]+kk*a.Zero[i]*zb)
+			d1[j] = a.Scale[i+1] * sb * float64(s1-a.Zero[i+1]*sumB-zb*a.RowSum[i+1]+kk*a.Zero[i+1]*zb)
+			d2[j] = a.Scale[i+2] * sb * float64(s2-a.Zero[i+2]*sumB-zb*a.RowSum[i+2]+kk*a.Zero[i+2]*zb)
+			d3[j] = a.Scale[i+3] * sb * float64(s3-a.Zero[i+3]*sumB-zb*a.RowSum[i+3]+kk*a.Zero[i+3]*zb)
+		}
+	}
+	for ; i < a.Rows; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*n : (i+1)*n]
+		sa, za, sumA := a.Scale[i], a.Zero[i], a.RowSum[i]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s int32
+			for p, w := range brow {
+				s += int32(arow[p]) * int32(w)
+			}
+			drow[j] = sa * b.Scale[j] * float64(s-za*b.RowSum[j]-b.Zero[j]*sumA+kk*za*b.Zero[j])
+		}
+	}
+}
+
+// Interpolated activation tables for the quantized path. math.Exp and
+// math.Tanh dominate the float LSTM's per-element cost; a 4096-entry
+// linearly interpolated table over the saturation range is an order of
+// magnitude cheaper with max absolute error ≈ 1e-6 — far below the int8
+// quantization noise the flip-rate contract already absorbs.
+const (
+	lutSize  = 4096
+	lutRange = 16.0 // σ and tanh saturate to 13 digits beyond ±16
+	lutStep  = 2 * lutRange / lutSize
+)
+
+var sigmoidTab, tanhTab [lutSize + 1]float64
+
+func init() {
+	for i := 0; i <= lutSize; i++ {
+		x := -lutRange + float64(i)*lutStep
+		sigmoidTab[i] = 1 / (1 + math.Exp(-x))
+		tanhTab[i] = math.Tanh(x)
+	}
+}
+
+func lut(tab *[lutSize + 1]float64, x float64) float64 {
+	if x <= -lutRange {
+		return tab[0]
+	}
+	if x >= lutRange {
+		return tab[lutSize]
+	}
+	t := (x + lutRange) / lutStep
+	i := int(t)
+	f := t - float64(i)
+	return tab[i] + (tab[i+1]-tab[i])*f
+}
+
+// SigmoidLUT is the table-interpolated logistic function of the quantized
+// inference path. It saturates exactly like Sigmoid outside ±16.
+func SigmoidLUT(x float64) float64 { return lut(&sigmoidTab, x) }
+
+// TanhLUT is the table-interpolated tanh of the quantized inference path.
+func TanhLUT(x float64) float64 { return lut(&tanhTab, x) }

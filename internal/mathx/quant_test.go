@@ -1,0 +1,184 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+
+	"adrias/internal/randutil"
+)
+
+func randMatrix(rows, cols int, scale float64, rng *randutil.Source) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Uniform(-scale, scale)
+	}
+	return m
+}
+
+// TestQuantMulNTApproximatesFloat checks the end-to-end quantized GEMM
+// against the float reference: with dynamic per-row activations and
+// symmetric per-row weights the relative error per output element must stay
+// within the int8 resolution budget (each operand carries ≤ 1/254 relative
+// rounding error on its row range).
+func TestQuantMulNTApproximatesFloat(t *testing.T) {
+	rng := randutil.New(7)
+	for _, dims := range [][3]int{{1, 3, 5}, {4, 16, 24}, {9, 40, 48}, {8, 64, 13}} {
+		B, K, N := dims[0], dims[1], dims[2]
+		a := randMatrix(B, K, 3, rng)
+		w := randMatrix(N, K, 0.8, rng)
+		want := NewMatrix(B, N)
+		MulNT(want, a, w)
+
+		qw := QuantizeWeightsPerRow(w)
+		qa := EnsureQuantMatrix(nil, B, K)
+		QuantizeRowsAffine(qa, a)
+		got := NewMatrix(B, N)
+		QuantMulNT(got, qa, qw)
+
+		// Error bound: per-term error ≤ sa/2 + sb/2 contributions; compare
+		// against a tolerance scaled by the row magnitudes.
+		for i := 0; i < B; i++ {
+			var aNorm float64
+			for _, x := range a.Row(i) {
+				aNorm += math.Abs(x)
+			}
+			for j := 0; j < N; j++ {
+				var wMax float64
+				for _, x := range w.Row(j) {
+					if v := math.Abs(x); v > wMax {
+						wMax = v
+					}
+				}
+				tol := (qa.Scale[i]*wMax*float64(K) + qw.Scale[j]*aNorm) * 0.75
+				if tol < 1e-12 {
+					tol = 1e-12
+				}
+				if d := math.Abs(got.At(i, j) - want.At(i, j)); d > tol {
+					t.Fatalf("[%d×%d·%d] dst[%d][%d] = %g, want %g (|Δ| %g > tol %g)",
+						B, K, N, i, j, got.At(i, j), want.At(i, j), d, tol)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantMulNTBlockedMatchesScalar pins the 4-row blocked path to the
+// scalar remainder path: both must produce identical float64 outputs for
+// identical inputs (the int32 accumulation order is k-ascending in both).
+func TestQuantMulNTBlockedMatchesScalar(t *testing.T) {
+	rng := randutil.New(11)
+	a := randMatrix(7, 20, 2, rng)
+	w := randMatrix(9, 20, 1, rng)
+	qw := QuantizeWeightsPerRow(w)
+	qa := EnsureQuantMatrix(nil, 7, 20)
+	QuantizeRowsAffine(qa, a)
+
+	whole := NewMatrix(7, 9)
+	QuantMulNT(whole, qa, qw)
+	for i := 0; i < 7; i++ {
+		// One-row product exercises only the scalar tail.
+		ra := EnsureQuantMatrix(nil, 1, 20)
+		copy(ra.Data, qa.Data[i*20:(i+1)*20])
+		ra.Scale[0], ra.Zero[0], ra.RowSum[0] = qa.Scale[i], qa.Zero[i], qa.RowSum[i]
+		row := NewMatrix(1, 9)
+		QuantMulNT(row, ra, qw)
+		for j := 0; j < 9; j++ {
+			if whole.At(i, j) != row.At(0, j) {
+				t.Fatalf("blocked row %d col %d = %g, scalar = %g", i, j, whole.At(i, j), row.At(0, j))
+			}
+		}
+	}
+}
+
+// TestQuantizeRoundTrip checks that dequantizing a quantized row recovers
+// every element within half a quantization step.
+func TestQuantizeRoundTrip(t *testing.T) {
+	rng := randutil.New(3)
+	src := randMatrix(6, 33, 5, rng)
+	// Constant and zero rows exercise the degenerate encodings.
+	src.Row(4).Fill(2.5)
+	src.Row(5).Zero()
+
+	q := EnsureQuantMatrix(nil, 6, 33)
+	QuantizeRowsAffine(q, src)
+	for i := 0; i < src.Rows; i++ {
+		step := q.Scale[i]
+		for j := 0; j < src.Cols; j++ {
+			got := q.Scale[i] * float64(int32(q.Data[i*q.Cols+j])-q.Zero[i])
+			if d := math.Abs(got - src.At(i, j)); d > step*0.51+1e-12 {
+				t.Fatalf("row %d col %d round-trip %g vs %g (step %g)", i, j, got, src.At(i, j), step)
+			}
+		}
+	}
+
+	qw := QuantizeWeightsPerRow(src)
+	for i := 0; i < src.Rows; i++ {
+		if qw.Zero[i] != 0 {
+			t.Fatalf("weight row %d zero point %d, want 0", i, qw.Zero[i])
+		}
+		step := qw.Scale[i]
+		for j := 0; j < src.Cols; j++ {
+			got := qw.Scale[i] * float64(qw.Data[i*qw.Cols+j])
+			if d := math.Abs(got - src.At(i, j)); d > step*0.51+1e-12 {
+				t.Fatalf("weight row %d col %d round-trip %g vs %g", i, j, got, src.At(i, j))
+			}
+		}
+	}
+}
+
+// TestRowSumMatchesData guards the precomputed zero-point correction.
+func TestRowSumMatchesData(t *testing.T) {
+	rng := randutil.New(5)
+	src := randMatrix(5, 17, 4, rng)
+	for _, q := range []*QuantMatrix{QuantizeWeightsPerRow(src), func() *QuantMatrix {
+		m := EnsureQuantMatrix(nil, 5, 17)
+		QuantizeRowsAffine(m, src)
+		return m
+	}()} {
+		for i := 0; i < q.Rows; i++ {
+			var sum int32
+			for _, v := range q.Data[i*q.Cols : (i+1)*q.Cols] {
+				sum += int32(v)
+			}
+			if sum != q.RowSum[i] {
+				t.Fatalf("row %d RowSum %d, data sums to %d", i, q.RowSum[i], sum)
+			}
+		}
+	}
+}
+
+// TestActivationLUTs bounds the interpolation error of the table-driven
+// activations and pins their saturation behavior.
+func TestActivationLUTs(t *testing.T) {
+	// Linear interpolation on a 4096-entry table over ±16 bounds the error
+	// by h²·max|f″|/8 ≈ 6e-6 (tanh″ peaks at ≈0.77).
+	for x := -20.0; x <= 20.0; x += 0.00137 {
+		if d := math.Abs(SigmoidLUT(x) - 1/(1+math.Exp(-x))); d > 1e-5 {
+			t.Fatalf("SigmoidLUT(%g) off by %g", x, d)
+		}
+		if d := math.Abs(TanhLUT(x) - math.Tanh(x)); d > 1e-5 {
+			t.Fatalf("TanhLUT(%g) off by %g", x, d)
+		}
+	}
+	if SigmoidLUT(-1e9) != sigmoidTab[0] || SigmoidLUT(1e9) != sigmoidTab[lutSize] {
+		t.Fatal("SigmoidLUT does not saturate at the table edges")
+	}
+	if TanhLUT(math.Inf(-1)) != tanhTab[0] || TanhLUT(math.Inf(1)) != tanhTab[lutSize] {
+		t.Fatal("TanhLUT does not saturate at the table edges")
+	}
+}
+
+// TestEnsureQuantMatrixReuses pins the arena contract: a smaller reshape
+// reuses the backing slices.
+func TestEnsureQuantMatrixReuses(t *testing.T) {
+	m := NewQuantMatrix(8, 16)
+	p := &m.Data[0]
+	m = EnsureQuantMatrix(m, 4, 16)
+	if &m.Data[0] != p || m.Rows != 4 {
+		t.Fatal("EnsureQuantMatrix reallocated on a shrinking reshape")
+	}
+	m = EnsureQuantMatrix(m, 32, 32)
+	if m.Rows != 32 || m.Cols != 32 || len(m.Data) != 1024 {
+		t.Fatal("EnsureQuantMatrix grew wrong")
+	}
+}

@@ -146,6 +146,19 @@ func (s Sample) Vector() []float64 {
 		s.RmtFlitsTx, s.RmtFlitsRx, s.RmtLatency}
 }
 
+// VectorInto writes the sample into dst (length ≥ NumMetrics) in Table I
+// order — the allocation-free counterpart of Vector for hot monitoring
+// paths that stage windows into reused buffers.
+func (s Sample) VectorInto(dst []float64) {
+	dst[0] = s.LLCLoads
+	dst[1] = s.LLCMisses
+	dst[2] = s.MemLoads
+	dst[3] = s.MemStores
+	dst[4] = s.RmtFlitsTx
+	dst[5] = s.RmtFlitsRx
+	dst[6] = s.RmtLatency
+}
+
 // MetricNames are the canonical names for Sample.Vector positions.
 var MetricNames = []string{"LLCld", "LLCmis", "MEMld", "MEMst", "RMTtx", "RMTrx", "RMTlat"}
 

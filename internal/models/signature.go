@@ -124,19 +124,32 @@ func ResampleSeq(seq []mathx.Vector, n int) []mathx.Vector {
 		return nil
 	}
 	out := make([]mathx.Vector, n)
+	for i := range out {
+		out[i] = mathx.NewVector(len(seq[0]))
+	}
+	ResampleSeqInto(out, seq)
+	return out
+}
+
+// ResampleSeqInto is the allocation-free core of ResampleSeq: it
+// block-averages seq into the caller-shaped dst (len(dst) output steps, each
+// row sized like seq's rows). The hot serve path stages the Watcher window
+// through it every batch.
+func ResampleSeqInto(dst, seq []mathx.Vector) {
+	n := len(dst)
 	for i := 0; i < n; i++ {
 		lo := i * len(seq) / n
 		hi := (i + 1) * len(seq) / n
 		if hi <= lo {
 			hi = lo + 1
 		}
-		m := mathx.NewVector(len(seq[0]))
+		m := dst[i]
+		m.Zero()
 		for _, r := range seq[lo:hi] {
 			m.Add(r)
 		}
-		out[i] = m.Scale(1 / float64(hi-lo))
+		m.Scale(1 / float64(hi-lo))
 	}
-	return out
 }
 
 // CaptureSignature runs profile p alone on remote memory on a fresh

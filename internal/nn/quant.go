@@ -1,0 +1,289 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"adrias/internal/mathx"
+)
+
+// Frozen int8 inference layers. Quantize* converts a trained float layer
+// into an inference-only twin: weights are quantized once (symmetric
+// per-row int8), activations dynamically per matrix row at each call, and
+// the saturating nonlinearities run through the interpolated LUTs
+// (mathx.SigmoidLUT/TanhLUT). The quantized layers are forward-only, carry
+// their own scratch arenas (steady-state calls at a fixed batch shape do
+// not allocate), and make no bit-identity promise against the float path —
+// their contract is the measured decision-flip rate (DESIGN.md §12). Like
+// the float layers they are not safe for concurrent use.
+
+// QuantInferLayer is a forward-only batched layer of the quantized path.
+// The returned matrix is arena-owned: valid until the next call on this
+// layer, and callers must not mutate it (except the next layer in a
+// QuantSequential, which may transform it in place).
+type QuantInferLayer interface {
+	ForwardBatch(X *mathx.Matrix) *mathx.Matrix
+}
+
+// QuantDense is the frozen int8 twin of Dense: y = dequant(qX·qWᵀ) + b.
+type QuantDense struct {
+	In, Out int
+	w       *mathx.QuantMatrix
+	bias    mathx.Vector
+	xq      *mathx.QuantMatrix
+	y       *mathx.Matrix
+}
+
+// QuantizeDense freezes a trained Dense layer into its int8 twin.
+func QuantizeDense(d *Dense) *QuantDense {
+	return &QuantDense{
+		In: d.In, Out: d.Out,
+		w:    mathx.QuantizeWeightsPerRow(d.w.W),
+		bias: d.b.W.Row(0).Clone(),
+	}
+}
+
+// ForwardBatch implements QuantInferLayer.
+func (q *QuantDense) ForwardBatch(X *mathx.Matrix) *mathx.Matrix {
+	if X.Cols != q.In {
+		panic(fmt.Sprintf("nn: QuantDense expects %d inputs, got %d", q.In, X.Cols))
+	}
+	q.xq = mathx.EnsureQuantMatrix(q.xq, X.Rows, X.Cols)
+	mathx.QuantizeRowsAffine(q.xq, X)
+	q.y = mathx.EnsureMatrix(q.y, X.Rows, q.Out)
+	mathx.QuantMulNT(q.y, q.xq, q.w)
+	q.y.AddRowBias(q.bias)
+	return q.y
+}
+
+// quantReLU rectifies in place — the input is the previous quantized
+// layer's arena, overwritten on its next call anyway.
+type quantReLU struct{}
+
+func (quantReLU) ForwardBatch(X *mathx.Matrix) *mathx.Matrix {
+	for i, v := range X.Data {
+		if v < 0 {
+			X.Data[i] = 0
+		}
+	}
+	return X
+}
+
+// quantLayerNorm applies the float LayerNorm affine in place. The
+// normalization itself stays in float64: it is O(dim) per row (no GEMM to
+// quantize) and its division by a data-dependent σ is exactly the kind of
+// scale the static int8 grid cannot represent.
+type quantLayerNorm struct {
+	gamma, beta mathx.Vector
+	eps         float64
+}
+
+func (l *quantLayerNorm) ForwardBatch(X *mathx.Matrix) *mathx.Matrix {
+	if X.Cols != len(l.gamma) {
+		panic(fmt.Sprintf("nn: quantized LayerNorm expects %d features, got %d", len(l.gamma), X.Cols))
+	}
+	n := float64(X.Cols)
+	for i := 0; i < X.Rows; i++ {
+		row := X.Row(i)
+		var mu float64
+		for _, x := range row {
+			mu += x
+		}
+		mu /= n
+		var v float64
+		for _, x := range row {
+			d := x - mu
+			v += d * d
+		}
+		std := math.Sqrt(v/n + l.eps)
+		for j, x := range row {
+			row[j] = l.gamma[j]*(x-mu)/std + l.beta[j]
+		}
+	}
+	return X
+}
+
+// quantBatchNorm folds a BatchNorm's inference transform (running stats +
+// affine) into one per-feature multiply-add applied in place.
+type quantBatchNorm struct {
+	mul, add mathx.Vector
+}
+
+func (b *quantBatchNorm) ForwardBatch(X *mathx.Matrix) *mathx.Matrix {
+	if X.Cols != len(b.mul) {
+		panic(fmt.Sprintf("nn: quantized BatchNorm expects %d features, got %d", len(b.mul), X.Cols))
+	}
+	for i := 0; i < X.Rows; i++ {
+		row := X.Row(i)
+		for j, x := range row {
+			row[j] = b.mul[j]*x + b.add[j]
+		}
+	}
+	return X
+}
+
+// QuantSequential chains quantized inference layers.
+type QuantSequential struct {
+	Layers []QuantInferLayer
+}
+
+// ForwardBatch implements QuantInferLayer.
+func (s *QuantSequential) ForwardBatch(X *mathx.Matrix) *mathx.Matrix {
+	for _, l := range s.Layers {
+		X = l.ForwardBatch(X)
+	}
+	return X
+}
+
+// QuantizeSequential freezes a trained Sequential into its int8 inference
+// twin: Dense layers quantize, ReLU/LayerNorm/BatchNorm become in-place
+// float ops, Dropout disappears (it is identity at inference), and nested
+// Sequentials flatten. Panics on a layer kind with no quantized twin.
+func QuantizeSequential(seq *Sequential) *QuantSequential {
+	out := &QuantSequential{}
+	out.appendQuantized(seq)
+	return out
+}
+
+func (s *QuantSequential) appendQuantized(seq *Sequential) {
+	for _, l := range seq.Layers {
+		switch v := l.(type) {
+		case *Dense:
+			s.Layers = append(s.Layers, QuantizeDense(v))
+		case *ReLU:
+			s.Layers = append(s.Layers, quantReLU{})
+		case *LayerNorm:
+			s.Layers = append(s.Layers, &quantLayerNorm{
+				gamma: v.gamma.W.Row(0).Clone(),
+				beta:  v.beta.W.Row(0).Clone(),
+				eps:   v.Eps,
+			})
+		case *BatchNorm:
+			mul := mathx.NewVector(v.Dim)
+			add := mathx.NewVector(v.Dim)
+			g, be := v.gamma.W.Row(0), v.beta.W.Row(0)
+			mean, vr := v.runMean(), v.runVar()
+			for j := 0; j < v.Dim; j++ {
+				std := math.Sqrt(vr[j] + v.Eps)
+				mul[j] = g[j] / std
+				add[j] = be[j] - g[j]*mean[j]/std
+			}
+			s.Layers = append(s.Layers, &quantBatchNorm{mul: mul, add: add})
+		case *Dropout:
+			// Identity at inference; nothing to emit.
+		case *Sequential:
+			s.appendQuantized(v)
+		default:
+			panic(fmt.Sprintf("nn: no quantized twin for layer %T", l))
+		}
+	}
+}
+
+// QuantLSTM is the frozen int8 twin of LSTM, forward-only and batched: the
+// [B×(I+H)] per-step concat block quantizes per row, the gate GEMM runs in
+// int8, and the gate nonlinearities use the interpolated LUTs.
+type QuantLSTM struct {
+	In, Hidden int
+	w          *mathx.QuantMatrix // [4H×(I+H)], i,f,g,o packed
+	bias       mathx.Vector       // [4H]
+
+	hs      []*mathx.Matrix // per-step hidden states [B×H], hs[0] zeros
+	cs      *mathx.Matrix   // current cell state [B×H], ping-ponged
+	csPrev  *mathx.Matrix
+	concat  *mathx.Matrix
+	concatQ *mathx.QuantMatrix
+	z       *mathx.Matrix
+}
+
+// QuantizeLSTM freezes a trained LSTM layer into its int8 twin.
+func QuantizeLSTM(l *LSTM) *QuantLSTM {
+	return &QuantLSTM{
+		In: l.In, Hidden: l.Hidden,
+		w:    mathx.QuantizeWeightsPerRow(l.w.W),
+		bias: l.b.W.Row(0).Clone(),
+	}
+}
+
+// ForwardSeqBatch runs B sequences in lockstep (xs[t] is the [B×In] step-t
+// input) and returns the hidden state at every step, arena-owned: valid
+// until the next call on this layer.
+func (l *QuantLSTM) ForwardSeqBatch(xs []*mathx.Matrix) []*mathx.Matrix {
+	T := len(xs)
+	if T == 0 {
+		panic("nn: QuantLSTM.ForwardSeqBatch on empty sequence")
+	}
+	B := xs[0].Rows
+	H := l.Hidden
+	if cap(l.hs) < T+1 {
+		grown := make([]*mathx.Matrix, T+1)
+		copy(grown, l.hs)
+		l.hs = grown
+	}
+	l.hs = l.hs[:T+1]
+	for i := range l.hs {
+		l.hs[i] = mathx.EnsureMatrix(l.hs[i], B, H)
+	}
+	l.cs = mathx.EnsureMatrix(l.cs, B, H)
+	l.csPrev = mathx.EnsureMatrix(l.csPrev, B, H)
+	l.concat = mathx.EnsureMatrix(l.concat, B, l.In+H)
+	l.concatQ = mathx.EnsureQuantMatrix(l.concatQ, B, l.In+H)
+	l.z = mathx.EnsureMatrix(l.z, B, 4*H)
+	l.hs[0].Zero()
+	l.csPrev.Zero()
+
+	for t := 0; t < T; t++ {
+		X := xs[t]
+		if X.Rows != B || X.Cols != l.In {
+			panic(fmt.Sprintf("nn: QuantLSTM expects [%d×%d] inputs, got [%d×%d] at step %d",
+				B, l.In, X.Rows, X.Cols, t))
+		}
+		for b := 0; b < B; b++ {
+			crow := l.concat.Row(b)
+			copy(crow[:l.In], X.Row(b))
+			copy(crow[l.In:], l.hs[t].Row(b))
+		}
+		mathx.QuantizeRowsAffine(l.concatQ, l.concat)
+		mathx.QuantMulNT(l.z, l.concatQ, l.w)
+		l.z.AddRowBias(l.bias)
+		for b := 0; b < B; b++ {
+			z := l.z.Row(b)
+			cPrev, c := l.csPrev.Row(b), l.cs.Row(b)
+			h := l.hs[t+1].Row(b)
+			for j := 0; j < H; j++ {
+				i := mathx.SigmoidLUT(z[j])
+				f := mathx.SigmoidLUT(z[H+j])
+				g := mathx.TanhLUT(z[2*H+j])
+				o := mathx.SigmoidLUT(z[3*H+j])
+				c[j] = f*cPrev[j] + i*g
+				h[j] = o * mathx.TanhLUT(c[j])
+			}
+		}
+		l.cs, l.csPrev = l.csPrev, l.cs
+	}
+	return l.hs[1:]
+}
+
+// QuantSeqEncoder stacks frozen QuantLSTM layers — the int8 twin of
+// SeqEncoder for inference.
+type QuantSeqEncoder struct {
+	Layers []*QuantLSTM
+}
+
+// QuantizeSeqEncoder freezes a trained SeqEncoder stack.
+func QuantizeSeqEncoder(e *SeqEncoder) *QuantSeqEncoder {
+	q := &QuantSeqEncoder{Layers: make([]*QuantLSTM, len(e.Layers))}
+	for i, l := range e.Layers {
+		q.Layers[i] = QuantizeLSTM(l)
+	}
+	return q
+}
+
+// EncodeBatch runs the stack over a lockstep batch and returns the top
+// layer's final hidden state, one row per sequence, arena-owned by the top
+// layer.
+func (e *QuantSeqEncoder) EncodeBatch(xs []*mathx.Matrix) *mathx.Matrix {
+	for _, l := range e.Layers {
+		xs = l.ForwardSeqBatch(xs)
+	}
+	return xs[len(xs)-1]
+}

@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"adrias/internal/mathx"
+	"adrias/internal/randutil"
+)
+
+// relFrobErr returns ‖a−b‖/‖b‖ over the matrix elements.
+func relFrobErr(t *testing.T, a, b *mathx.Matrix) float64 {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	var num, den float64
+	for i, x := range a.Data {
+		d := x - b.Data[i]
+		num += d * d
+		den += b.Data[i] * b.Data[i]
+	}
+	if den == 0 {
+		t.Fatal("reference output is all zeros")
+	}
+	return math.Sqrt(num / den)
+}
+
+func quantRandBatch(rng *randutil.Source, rows, cols int, scale float64) *mathx.Matrix {
+	m := mathx.NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Uniform(-scale, scale)
+	}
+	return m
+}
+
+func TestQuantDenseTracksFloat(t *testing.T) {
+	rng := randutil.New(41)
+	d := NewDense(24, 16, rng)
+	q := QuantizeDense(d)
+	X := quantRandBatch(rng.Split(1), 8, 24, 2)
+	want := d.ForwardBatch(X, false)
+	got := q.ForwardBatch(X)
+	if e := relFrobErr(t, got, want); e > 0.02 {
+		t.Fatalf("QuantDense relative error %.4f > 0.02", e)
+	}
+}
+
+func TestQuantSequentialTracksHead(t *testing.T) {
+	rng := randutil.New(43)
+	// The models' head shape: three non-linear blocks and a linear output.
+	head := NewSequential(
+		NonLinearBlock(31, 24, 0.1, rng.Split(1)),
+		NonLinearBlock(24, 24, 0.1, rng.Split(2)),
+		NonLinearBlock(24, 24, 0.1, rng.Split(3)),
+		NewDense(24, 1, rng.Split(4)),
+	)
+	q := QuantizeSequential(head)
+	X := quantRandBatch(rng.Split(9), 8, 31, 1.5)
+	want := head.ForwardBatch(X.Clone(), false)
+	got := q.ForwardBatch(X)
+	if e := relFrobErr(t, got, want); e > 0.08 {
+		t.Fatalf("quantized head relative error %.4f > 0.08", e)
+	}
+}
+
+func TestQuantSequentialDropoutAndBatchNorm(t *testing.T) {
+	rng := randutil.New(47)
+	seq := NewSequential(
+		NewDense(6, 6, rng),
+		NewBatchNorm(6),
+		NewDropout(0.5, rng.Split(1)),
+	)
+	// Warm the batch-norm running stats so the fold is non-trivial.
+	for i := 0; i < 50; i++ {
+		x := mathx.NewVector(6)
+		for j := range x {
+			x[j] = rng.Uniform(-2, 2)
+		}
+		seq.Forward(x, true)
+	}
+	q := QuantizeSequential(seq)
+	if len(q.Layers) != 2 {
+		t.Fatalf("quantized chain has %d layers, want 2 (Dropout must vanish)", len(q.Layers))
+	}
+	X := quantRandBatch(rng.Split(3), 4, 6, 1)
+	want := seq.ForwardBatch(X.Clone(), false)
+	got := q.ForwardBatch(X)
+	if e := relFrobErr(t, got, want); e > 0.05 {
+		t.Fatalf("quantized Dense+BatchNorm relative error %.4f > 0.05", e)
+	}
+}
+
+func TestQuantSeqEncoderTracksFloat(t *testing.T) {
+	rng := randutil.New(53)
+	enc := NewSeqEncoder(7, 12, 2, rng)
+	q := QuantizeSeqEncoder(enc)
+
+	T, B := 6, 8
+	xs := make([]*mathx.Matrix, T)
+	for tt := range xs {
+		xs[tt] = quantRandBatch(rng.Split(int64(tt)+10), B, 7, 1.5)
+	}
+	want := enc.EncodeBatch(xs, false)
+	got := q.EncodeBatch(xs)
+	if e := relFrobErr(t, got, want); e > 0.15 {
+		t.Fatalf("quantized encoder relative error %.4f > 0.15", e)
+	}
+
+	// Per-sample agreement with the batch: row b of the batched result must
+	// equal encoding sequence b alone (the quantized path deduplicates on
+	// this property).
+	single := make([]*mathx.Matrix, T)
+	for tt := range single {
+		single[tt] = mathx.NewMatrix(1, 7)
+		copy(single[tt].Data, xs[tt].Row(3))
+	}
+	q2 := QuantizeSeqEncoder(enc)
+	one := q2.EncodeBatch(single)
+	for j := 0; j < 12; j++ {
+		if one.At(0, j) != got.At(3, j) {
+			t.Fatalf("batched row 3 col %d = %g, single = %g", j, got.At(3, j), one.At(0, j))
+		}
+	}
+}
+
+// TestQuantForwardZeroAlloc pins the arena contract: after the first call
+// at a shape, further forwards allocate nothing.
+func TestQuantForwardZeroAlloc(t *testing.T) {
+	rng := randutil.New(59)
+	enc := QuantizeSeqEncoder(NewSeqEncoder(7, 12, 2, rng))
+	head := QuantizeSequential(NewSequential(
+		NonLinearBlock(12, 24, 0, rng.Split(1)),
+		NewDense(24, 1, rng.Split(2)),
+	))
+	T, B := 6, 8
+	xs := make([]*mathx.Matrix, T)
+	for tt := range xs {
+		xs[tt] = quantRandBatch(rng.Split(int64(tt)+20), B, 7, 1)
+	}
+	X := quantRandBatch(rng.Split(99), B, 12, 1)
+	enc.EncodeBatch(xs)
+	head.ForwardBatch(X)
+	if n := testing.AllocsPerRun(20, func() {
+		h := enc.EncodeBatch(xs)
+		copy(X.Data, h.Data)
+		head.ForwardBatch(X)
+	}); n > 0 {
+		t.Fatalf("steady-state quantized forward allocates %.1f/op, want 0", n)
+	}
+}

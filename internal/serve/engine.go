@@ -59,6 +59,12 @@ type EngineConfig struct {
 	// DisableBreaker turns the circuit breaker off — predictions then fail
 	// per-request only, the pre-degradation behaviour.
 	DisableBreaker bool
+	// Quantized serves placements from the int8 inference twin
+	// (core.QuantPredictor) instead of the float models: faster and
+	// allocation-free in steady state, at the cost of the quantization
+	// error budget (decision-flip rate ≤ 1%, DESIGN.md §12). Fault
+	// injection and the breaker stack on top of it unchanged.
+	Quantized bool
 }
 
 func (c EngineConfig) withDefaults(histTicks int) EngineConfig {
@@ -98,6 +104,11 @@ type SystemEngine struct {
 	cfg   EngineConfig
 	audit *obs.AuditLog   // nil until RegisterObs
 	brk   *faults.Breaker // nil when DisableBreaker
+
+	// PlaceBatchInto scratch, reused across batches under mu.
+	batProfiles []*workload.Profile
+	batIdx      []int
+	batDS       []core.Decision
 
 	ambientStarted uint64
 	// ambientClock is the simulated time (whole-second slots) through which
@@ -161,6 +172,9 @@ func NewSystemEngine(pred *core.Predictor, watch *core.Watcher, reg *workload.Re
 	// to the model, then the circuit breaker + last-good cache on top, so
 	// the breaker sees injected failures exactly as it would real ones.
 	var infer core.PerfInference = pred
+	if cfg.Quantized {
+		infer = core.NewQuantPredictor(pred)
+	}
 	if cfg.Faults != nil {
 		infer = &faults.FaultyPredictor{Inner: infer, Inj: cfg.Faults}
 	}
@@ -228,15 +242,33 @@ type sampleEvent struct {
 // every decision is recorded in the audit log (when RegisterObs wired one)
 // and published on the configured bus.
 func (e *SystemEngine) PlaceBatch(ctx context.Context, reqs []PlaceRequest) []PlaceResult {
+	results := make([]PlaceResult, len(reqs))
+	e.PlaceBatchInto(ctx, reqs, results)
+	return results
+}
+
+// PlaceBatchInto is the allocation-free core of PlaceBatch: results[i]
+// (caller-owned, len(reqs)) answers reqs[i], and all batch scratch lives on
+// the engine. In steady state — fixed batch shape, warm arenas, a quantized
+// prediction path (EngineConfig.Quantized), decision ring at its bound, no
+// audit log or bus, and DryRun requests — a batch allocates nothing; the
+// bench-gate CI job pins that on the decode→decide→encode benchmark.
+func (e *SystemEngine) PlaceBatchInto(ctx context.Context, reqs []PlaceRequest, results []PlaceResult) {
+	if len(results) != len(reqs) {
+		panic("serve: PlaceBatchInto output length mismatch")
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
-	results := make([]PlaceResult, len(reqs))
-	profiles := make([]*workload.Profile, 0, len(reqs))
-	idx := make([]int, 0, len(reqs))
+	if cap(e.batProfiles) < len(reqs) {
+		e.batProfiles = make([]*workload.Profile, 0, len(reqs))
+		e.batIdx = make([]int, 0, len(reqs))
+		e.batDS = make([]core.Decision, len(reqs))
+	}
+	profiles := e.batProfiles[:0]
+	idx := e.batIdx[:0]
 	for i, r := range reqs {
-		results[i].App = r.App
-		results[i].TraceID = r.TraceID
+		results[i] = PlaceResult{App: r.App, TraceID: r.TraceID}
 		p := e.reg.ByName(r.App)
 		if p == nil {
 			results[i].Err = fmt.Errorf("%w: %q", ErrUnknownApp, r.App)
@@ -246,10 +278,12 @@ func (e *SystemEngine) PlaceBatch(ctx context.Context, reqs []PlaceRequest) []Pl
 		profiles = append(profiles, p)
 		idx = append(idx, i)
 	}
+	e.batProfiles, e.batIdx = profiles, idx
 	if len(profiles) == 0 {
-		return results
+		return
 	}
-	ds := e.orch.DecideBatch(ctx, profiles, e.cl)
+	ds := e.batDS[:len(profiles)]
+	e.orch.DecideBatchInto(ctx, profiles, e.cl, ds)
 	now := time.Now()
 	for k, i := range idx {
 		d := ds[k]
@@ -288,7 +322,6 @@ func (e *SystemEngine) PlaceBatch(ctx context.Context, reqs []PlaceRequest) []Pl
 			})
 		}
 	}
-	return results
 }
 
 // Advance moves the testbed simSec simulated seconds forward, injecting

@@ -75,11 +75,27 @@ type HealthSource interface {
 // deadline exceeded → 504, draining → 503.
 func NewHandler(svc *Service, health HealthSource) http.Handler {
 	mux := http.NewServeMux()
+	appNames := newInternTable(256)
 	mux.HandleFunc("POST /v1/place", func(w http.ResponseWriter, r *http.Request) {
-		var req PlaceHTTPRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		// Hot path: pooled scratch for body, request struct, and response
+		// bytes. The fast parser covers the steady-state body shape; any
+		// surprise (escapes, unknown keys, bad syntax) reruns encoding/json
+		// on the same bytes for exact semantics and error text.
+		buf := placeBufPool.Get().(*placeBuf)
+		defer placeBufPool.Put(buf)
+		body, err := readBody(r.Body, buf.body)
+		buf.body = body
+		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 			return
+		}
+		req := &buf.req
+		if !parsePlaceRequest(body, req, appNames) {
+			*req = PlaceHTTPRequest{}
+			if err := json.Unmarshal(body, req); err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+				return
+			}
 		}
 		if req.App == "" {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing \"app\""})
@@ -110,7 +126,7 @@ func NewHandler(svc *Service, health HealthSource) http.Handler {
 			writeJSON(w, status, errorResponse{Error: err.Error()})
 			return
 		}
-		writeJSON(w, http.StatusOK, PlaceHTTPResponse{
+		resp := PlaceHTTPResponse{
 			App:         res.App,
 			Class:       res.Class.String(),
 			Tier:        res.Tier.String(),
@@ -121,7 +137,11 @@ func NewHandler(svc *Service, health HealthSource) http.Handler {
 			Reason:      res.Reason,
 			BatchSize:   res.BatchSize,
 			TraceID:     res.TraceID,
-		})
+		}
+		buf.out = appendPlaceResponse(buf.out[:0], &resp)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf.out)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		resp := HealthResponse{Status: "ok"}

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# bench_gate.sh — the quantized-fast-path benchmark gate.
+#
+# Runs the batch-8 inference and placement benchmarks at one core plus the
+# decision-flip contract suite, writes machine-readable results to
+# BENCH_quantfast.json (ns/op, B/op, allocs/op per benchmark, measured
+# decision-flip rate, quant/float speedups), and FAILS unless:
+#
+#   * steady-state allocs/op == 0 on the quantized predict benchmark
+#     (BenchmarkPerfPredictEachQuantB8) and the quantized serve hot path
+#     (BenchmarkServeHotPathQuantB8);
+#   * the measured decision-flip rate is ≤ FLIP_BUDGET (default 0.01);
+#   * the quantized serve hot path is ≥ MIN_SPEEDUP× the float baseline
+#     (default 1.5; set MIN_SPEEDUP=0 to record without gating).
+#
+# Env: OUT (default BENCH_quantfast.json), BENCHTIME (default 50x),
+#      FLIP_BUDGET, MIN_SPEEDUP.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_quantfast.json}"
+BENCHTIME="${BENCHTIME:-50x}"
+FLIP_BUDGET="${FLIP_BUDGET:-0.01}"
+MIN_SPEEDUP="${MIN_SPEEDUP:-1.5}"
+
+bench_txt="$(mktemp)"
+flip_txt="$(mktemp)"
+trap 'rm -f "$bench_txt" "$flip_txt"' EXIT
+
+echo "== bench-gate: batch-8 quantized benchmarks (one core, $BENCHTIME) =="
+go test -run='^$' -cpu=1 -benchtime="$BENCHTIME" \
+  -bench='^(BenchmarkPerfPredictEachFloatB8|BenchmarkPerfPredictEachQuantB8|BenchmarkServeHotPathFloatB8|BenchmarkServeHotPathQuantB8)$' \
+  ./internal/models ./internal/serve | tee "$bench_txt"
+
+echo "== bench-gate: decision-flip contract (fast scale) =="
+go run ./cmd/adrias-bench -scale fast -quant | tee "$flip_txt"
+
+flip_rate="$(awk '/decision_flip_rate/ { print $2 }' "$flip_txt" | tail -1)"
+if [ -z "$flip_rate" ]; then
+  echo "bench-gate: no decision_flip_rate line in the quantflip report" >&2
+  exit 1
+fi
+
+# Build BENCH_quantfast.json and apply the gates in one awk pass over the
+# benchmark lines. Names are stripped of the -<procs> suffix go test adds.
+awk -v out="$OUT" -v flip="$flip_rate" -v flip_budget="$FLIP_BUDGET" \
+    -v min_speedup="$MIN_SPEEDUP" '
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  ns[name] = "null"; bop[name] = "null"; alloc[name] = "null"
+  for (i = 2; i <= NF; i++) {
+    if ($i == "ns/op")     ns[name] = $(i - 1)
+    if ($i == "B/op")      bop[name] = $(i - 1)
+    if ($i == "allocs/op") alloc[name] = $(i - 1)
+  }
+  if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+}
+END {
+  printf "{\n  \"benchmarks\": {\n" > out
+  for (i = 1; i <= n; i++) {
+    name = order[i]
+    printf "    \"%s\": {\"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+      name, ns[name], bop[name], alloc[name], (i < n ? "," : "") > out
+  }
+  printf "  },\n" > out
+
+  fq = ns["BenchmarkPerfPredictEachFloatB8"];  qq = ns["BenchmarkPerfPredictEachQuantB8"]
+  fs = ns["BenchmarkServeHotPathFloatB8"];     qs = ns["BenchmarkServeHotPathQuantB8"]
+  predict_speedup = (fq != "null" && qq != "null" && qq + 0 > 0) ? fq / qq : 0
+  serve_speedup   = (fs != "null" && qs != "null" && qs + 0 > 0) ? fs / qs : 0
+  printf "  \"predict_quant_speedup\": %.3f,\n", predict_speedup > out
+  printf "  \"serve_quant_speedup\": %.3f,\n", serve_speedup > out
+  printf "  \"decision_flip_rate\": %s,\n", flip > out
+  printf "  \"flip_budget\": %s,\n", flip_budget > out
+  printf "  \"min_speedup\": %s\n}\n", min_speedup > out
+  close(out)
+
+  failed = 0
+  gated["BenchmarkPerfPredictEachQuantB8"] = 1
+  gated["BenchmarkServeHotPathQuantB8"] = 1
+  for (name in gated) {
+    if (!(name in seen)) {
+      printf "FAIL %s: benchmark did not run\n", name; failed = 1
+    } else if (alloc[name] == "null" || alloc[name] + 0 != 0) {
+      printf "FAIL %s: %s allocs/op, want 0\n", name, alloc[name]; failed = 1
+    } else {
+      printf "ok   %s: 0 allocs/op (%s ns/op)\n", name, ns[name]
+    }
+  }
+  if (flip + 0 > flip_budget + 0) {
+    printf "FAIL decision-flip rate %s > budget %s\n", flip, flip_budget; failed = 1
+  } else {
+    printf "ok   decision-flip rate %s <= budget %s\n", flip, flip_budget
+  }
+  if (min_speedup + 0 > 0) {
+    if (serve_speedup < min_speedup + 0) {
+      printf "FAIL serve quant speedup %.2fx < %.1fx\n", serve_speedup, min_speedup; failed = 1
+    } else {
+      printf "ok   serve quant speedup %.2fx >= %.1fx (predict %.2fx)\n", \
+        serve_speedup, min_speedup, predict_speedup
+    }
+  }
+  exit failed
+}' "$bench_txt"
+
+echo "bench-gate: wrote $OUT"

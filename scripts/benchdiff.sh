@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # benchdiff.sh old.txt new.txt — benchstat-style comparison of two
 # `go test -bench` outputs. For every benchmark present in both files it
-# prints ns/op (and B/op + allocs/op when reported) side by side with the
-# percent delta; benchmarks present in only one file are listed separately.
+# prints ns/op, B/op, and allocs/op side by side with percent deltas;
+# metrics only one run reported print as n/a instead of blank fields, and
+# benchmarks present in only one file are listed separately.
 # Purely informational: low-iteration CI runs are noisy, so callers must
 # not gate on the deltas (the CI step runs with continue-on-error).
 set -euo pipefail
@@ -20,8 +21,13 @@ function record(name,    i) {
   if (!(name in seen)) { seen[name] = 1; order[++n] = name }
   have[file, name] = 1
 }
+# val: a metric that may be absent in one run (ReportAllocs is per-bench).
+function val(file, name, arr) {
+  return ((file, name) in arr) ? arr[file, name] : "n/a"
+}
 function delta(o, v) {
-  if (o == 0) return "n/a"
+  if (o == "n/a" || v == "n/a") return "n/a"
+  if (o + 0 == 0) return (v + 0 == 0) ? "+0.0%" : "n/a"
   return sprintf("%+.1f%%", (v - o) * 100 / o)
 }
 FNR == 1 { file++ }
@@ -32,8 +38,12 @@ END {
     name = order[i]
     if (have[1, name] && have[2, name]) {
       printf "%-48s %14s %14s %9s\n", name, ns[1, name], ns[2, name], delta(ns[1, name], ns[2, name])
-      if ((1, name) in al || (2, name) in al)
-        printf "%-48s %11s B/op %11s B/op  (allocs %s -> %s)\n", "", bop[1, name], bop[2, name], al[1, name], al[2, name]
+      if ((1, name) in al || (2, name) in al || (1, name) in bop || (2, name) in bop) {
+        ob = val(1, name, bop); nb = val(2, name, bop)
+        oa = val(1, name, al);  na = val(2, name, al)
+        printf "%-48s %9s -> %-9s B/op %9s   allocs %6s -> %-6s %9s\n", \
+          "", ob, nb, delta(ob, nb), oa, na, delta(oa, na)
+      }
     }
   }
   for (i = 1; i <= n; i++) {

@@ -110,7 +110,9 @@ if [ -z "$recoveries" ] || [ "$recoveries" -lt 1 ]; then
 fi
 for series in adrias_faults_activations_total adrias_faults_injected_total \
   adrias_serve_degraded adrias_thymesis_degraded; do
-  echo "$metrics" | grep -q "^$series" || {
+  # Grep the saved scrape, not `echo | grep -q`: under pipefail a large
+  # payload would turn grep's early exit into a SIGPIPE false failure.
+  grep -q "^$series" "$scrapes/metrics.txt" || {
     echo "missing $series in /metrics" >&2
     exit 1
   }

@@ -53,15 +53,17 @@ fi
   -dump-decisions | tee "$scrapes/loadgen.txt"
 
 # All 100 must have been served OK, and the admission pipeline must have
-# actually coalesced them into batches.
-metrics="$(curl -fsS "http://127.0.0.1:$port/metrics")"
-echo "$metrics" >"$scrapes/metrics.txt"
-echo "$metrics" | grep -q 'adrias_serve_requests_total{outcome="ok"} 100' || {
+# actually coalesced them into batches. Checks grep the saved scrape files,
+# not `echo "$var" | grep -q`: grep -q exits at the first hit and under
+# pipefail the echo's SIGPIPE would read as a spurious failure once the
+# payload outgrows the pipe buffer.
+curl -fsS "http://127.0.0.1:$port/metrics" >"$scrapes/metrics.txt"
+grep -q 'adrias_serve_requests_total{outcome="ok"} 100' "$scrapes/metrics.txt" || {
   echo "expected 100 ok requests in /metrics:" >&2
-  echo "$metrics" | grep adrias_serve_requests_total >&2
+  grep adrias_serve_requests_total "$scrapes/metrics.txt" >&2
   exit 1
 }
-echo "$metrics" | grep -q '^adrias_serve_batches_total' || {
+grep -q '^adrias_serve_batches_total' "$scrapes/metrics.txt" || {
   echo "missing batch counter in /metrics" >&2
   exit 1
 }
@@ -71,7 +73,7 @@ echo "$metrics" | grep -q '^adrias_serve_batches_total' || {
 for series in adrias_serve_queue_wait_seconds_count adrias_bus_published_total \
   adrias_models_inference_batches_total adrias_thymesis_flits_tx_total \
   adrias_go_goroutines; do
-  echo "$metrics" | grep -q "^$series" || {
+  grep -q "^$series" "$scrapes/metrics.txt" || {
     echo "missing $series in /metrics" >&2
     exit 1
   }
@@ -79,21 +81,19 @@ done
 
 # Every request is traceable: the trace ring must hold the pipeline stages
 # (queue wait and coalescing per request, the model/decide spans per batch).
-traces="$(curl -fsS "http://127.0.0.1:$port/debug/traces")"
-echo "$traces" >"$scrapes/traces.json"
+curl -fsS "http://127.0.0.1:$port/debug/traces" >"$scrapes/traces.json"
 for stage in queue_wait coalesce signature_lookup sysstate_predict \
   perf_predict decide; do
-  echo "$traces" | grep -q "\"$stage\"" || {
+  grep -q "\"$stage\"" "$scrapes/traces.json" || {
     echo "missing stage $stage in /debug/traces" >&2
     exit 1
   }
 done
 
 # Every decision is audited with the predictions that produced it.
-decisions="$(curl -fsS "http://127.0.0.1:$port/debug/decisions")"
-echo "$decisions" >"$scrapes/decisions.json"
+curl -fsS "http://127.0.0.1:$port/debug/decisions" >"$scrapes/decisions.json"
 for field in trace_id pred_local_s beta reason; do
-  echo "$decisions" | grep -q "\"$field\"" || {
+  grep -q "\"$field\"" "$scrapes/decisions.json" || {
     echo "missing field $field in /debug/decisions" >&2
     exit 1
   }
