@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-gate fmt vet serve-smoke chaos-smoke trace-overhead ci
+.PHONY: build test race bench bench-gate fmt vet serve-smoke chaos-smoke learn-smoke trace-overhead ci
 
 build:
 	$(GO) build ./...
@@ -48,9 +48,15 @@ serve-smoke:
 chaos-smoke:
 	./scripts/chaos_smoke.sh
 
+## learn-smoke: end-to-end smoke of the online learning loop: serve with
+## -learn and a drifting ambient ramp, deploy placements so outcomes join
+## back, require drift → retrain → shadow win → audited hot swap.
+learn-smoke:
+	./scripts/learn_smoke.sh
+
 ## trace-overhead: gate span recording on the batch-8 placement path at
 ## ≤ MAX_OVERHEAD_PCT (default 5) percent over the untraced baseline.
 trace-overhead:
 	./scripts/trace_overhead.sh
 
-ci: build fmt vet test race bench bench-gate serve-smoke chaos-smoke trace-overhead
+ci: build fmt vet test race bench bench-gate serve-smoke chaos-smoke learn-smoke trace-overhead

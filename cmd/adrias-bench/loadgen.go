@@ -190,6 +190,9 @@ func dumpDecisions(client *http.Client, base string) error {
 			Beta        float64 `json:"beta"`
 			QoSMs       float64 `json:"qos_ms"`
 			Reason      string  `json:"reason"`
+			BatchSize   int     `json:"batch_size"`
+			ModelGen    int     `json:"model_gen"`
+			Event       string  `json:"event"`
 		} `json:"decisions"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
@@ -197,12 +200,22 @@ func dumpDecisions(client *http.Client, base string) error {
 	}
 	fmt.Printf("\ndecision audit log: %d total, %d retained\n", payload.Total, payload.Retained)
 	for _, d := range payload.Decisions {
+		if d.Event == "model-swap" {
+			// Lifecycle marker: the online learning loop promoted a retrained
+			// candidate here — decisions below it came from the new generation.
+			fmt.Printf("  ── model swap: %s model → generation %d (%d shadow evals) ──\n",
+				d.Class, d.ModelGen, d.BatchSize)
+			continue
+		}
 		fmt.Printf("  %-14s %-10s %-6s → %-6s %-13s", d.TraceID, d.App, d.Class, d.Tier, d.Reason)
 		if d.PredLocalS > 0 || d.PredRemoteS > 0 {
 			fmt.Printf("  t̂_local %.2f  t̂_remote %.2f  β %.2f", d.PredLocalS, d.PredRemoteS, d.Beta)
 		}
 		if d.QoSMs > 0 {
 			fmt.Printf("  qos %.1fms", d.QoSMs)
+		}
+		if d.ModelGen > 1 {
+			fmt.Printf("  gen %d", d.ModelGen)
 		}
 		fmt.Println()
 	}

@@ -19,6 +19,10 @@
 //	             [-bus-addr 127.0.0.1:7601]
 //	             [-fault-spec "predict-error@4+40;fabric-flap@8+24"]
 //	             [-breaker-threshold 5] [-breaker-cooldown 10] [-no-breaker]
+//	             [-quantized] [-learn] [-learn-drift-threshold 0.35]
+//	             [-learn-min-outcomes 64] [-learn-shadow-warmup 32]
+//	             [-learn-cooldown 300] [-ambient-ramp-to 0.6]
+//	             [-ambient-ramp-sec 300]
 //
 // Without -models the fast offline phase trains a small model set first
 // (≈10 s). -debug-addr opens a second listener with the pprof surface
@@ -32,6 +36,15 @@
 // service keeps answering through injected faults on the graceful-degradation
 // path (circuit breaker + cached/safe-local fallbacks), reporting "degraded"
 // on /healthz while impaired.
+//
+// -learn arms the online model-lifecycle loop (DESIGN.md §13): realized
+// outcomes are joined back to their audited decisions, rolling prediction
+// error above -learn-drift-threshold triggers a background retrain, the
+// candidate shadow-evaluates on live admissions, and a winning candidate is
+// hot-swapped in — with the int8 twin re-derived when -quantized. Promotions
+// appear in /debug/decisions ("model-swap") and on bus topic
+// "model.generations". -ambient-ramp-to/-ambient-ramp-sec shift the ambient
+// load after start, the induced-drift program the smoke test uses.
 package main
 
 import (
@@ -49,6 +62,7 @@ import (
 	"adrias"
 	"adrias/internal/bus"
 	"adrias/internal/faults"
+	"adrias/internal/learn"
 	"adrias/internal/models"
 	"adrias/internal/profiling"
 	"adrias/internal/serve"
@@ -75,6 +89,18 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive predictor failures that trip the circuit breaker (0: default 5)")
 	breakerCooldown := flag.Float64("breaker-cooldown", 0, "simulated seconds an open breaker waits before half-open probing (0: default 10)")
 	noBreaker := flag.Bool("no-breaker", false, "disable the predictor circuit breaker (faults hit the decision path raw)")
+	quantized := flag.Bool("quantized", false, "serve placements from the int8 quantized inference twin")
+	learnOn := flag.Bool("learn", false, "run the online learning loop: outcome capture, drift-triggered retrain, shadow eval, hot swap")
+	learnDriftThreshold := flag.Float64("learn-drift-threshold", 0, "mean relative prediction error that arms a retrain (0: default 0.35)")
+	learnDriftWindow := flag.Int("learn-drift-window", 0, "rolling prediction-error window per tier (0: default 256)")
+	learnMinOutcomes := flag.Int("learn-min-outcomes", 0, "buffered outcomes of a class required before it retrains (0: default 64)")
+	learnShadowWarmup := flag.Int("learn-shadow-warmup", 0, "shadow comparisons before the promote/discard verdict (0: default 32)")
+	learnShadowMargin := flag.Float64("learn-shadow-margin", 0, "relative slack the candidate gets in the verdict (0: must strictly win)")
+	learnCooldown := flag.Float64("learn-cooldown", 0, "simulated seconds between lifecycle rounds (0: default 300)")
+	learnBuffer := flag.Int("learn-buffer", 0, "training ring capacity in outcomes (0: default 4096)")
+	learnEpochs := flag.Int("learn-epochs", 0, "candidate fit epochs (0: inherit the live model's configuration)")
+	ambientRampTo := flag.Float64("ambient-ramp-to", 0, "ambient rate to ramp toward after serving starts (0: no ramp)")
+	ambientRampSec := flag.Float64("ambient-ramp-sec", 0, "simulated seconds over which the ambient ramp completes")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -98,6 +124,22 @@ func main() {
 	}
 	if *ambient < 0 {
 		fail("-ambient must be ≥ 0 (got %v)", *ambient)
+	}
+	if *ambientRampTo > 0 && *ambientRampSec <= 0 {
+		fail("-ambient-ramp-to requires -ambient-ramp-sec > 0")
+	}
+	var learnCfg *learn.Config
+	if *learnOn {
+		learnCfg = &learn.Config{
+			DriftThreshold: *learnDriftThreshold,
+			DriftWindow:    *learnDriftWindow,
+			MinOutcomes:    *learnMinOutcomes,
+			ShadowWarmup:   *learnShadowWarmup,
+			ShadowMargin:   *learnShadowMargin,
+			CooldownSec:    *learnCooldown,
+			BufferCap:      *learnBuffer,
+			Epochs:         *learnEpochs,
+		}
 	}
 	var injector *faults.Injector
 	if *faultSpec != "" {
@@ -143,7 +185,14 @@ func main() {
 			Cooldown:  *breakerCooldown,
 		},
 		DisableBreaker: *noBreaker,
+		Quantized:      *quantized,
+		Learn:          learnCfg,
+		AmbientRampTo:  *ambientRampTo,
+		AmbientRampSec: *ambientRampSec,
 	})
+	if learnCfg != nil {
+		fmt.Println("online learning loop armed (drift-triggered retrain, shadow eval, hot swap)")
+	}
 	svc := serve.NewService(eng, serve.Config{
 		BatchWindow:    *batchWindow,
 		MaxBatch:       *maxBatch,
@@ -169,7 +218,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer busSrv.Close()
-		fmt.Printf("event bus on tcp://%s (topics orchestrator.decisions, watcher.samples)\n", busSrv.Addr())
+		fmt.Printf("event bus on tcp://%s (topics orchestrator.decisions, watcher.samples, model.generations)\n", busSrv.Addr())
 	}
 	if *debugAddr != "" {
 		dln, err := net.Listen("tcp", *debugAddr)

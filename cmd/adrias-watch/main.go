@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	adrias-watch [-addr 127.0.0.1:7601] [-topics watcher.samples,orchestrator.decisions] [-n max]
+//	adrias-watch [-addr 127.0.0.1:7601] [-topics watcher.samples,orchestrator.decisions,model.generations] [-n max]
 package main
 
 import (
@@ -19,7 +19,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7601", "adriasd bus address")
-	topics := flag.String("topics", "watcher.samples,orchestrator.decisions", "comma-separated topics")
+	topics := flag.String("topics", "watcher.samples,orchestrator.decisions,model.generations", "comma-separated topics")
 	max := flag.Int("n", 0, "exit after this many messages (0 = run until the bus closes)")
 	flag.Parse()
 

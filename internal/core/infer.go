@@ -1,0 +1,52 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+
+	"adrias/internal/mathx"
+)
+
+// SwappableInference is a PerfInference indirection whose target can be
+// replaced atomically at runtime — the hot-swap point of the online
+// learning loop (internal/learn). The serve engine installs it at the base
+// of the inference stack (under the fault injector and the circuit
+// breaker), so a model-generation swap retargets predictions without
+// rebuilding the degradation wrappers above it.
+//
+// Load/Store are lock-free; a decide batch observes exactly one target
+// (DecideBatchInto performs a single PredictPerfBatch call), so a swap is
+// atomic at batch granularity. The targets themselves keep their own
+// concurrency contracts: a QuantPredictor target is arena-owned and must
+// still be called from one goroutine at a time, exactly as without the
+// indirection.
+type SwappableInference struct {
+	p atomic.Pointer[inferBox]
+}
+
+// inferBox wraps the interface value so atomic.Pointer has a concrete type.
+type inferBox struct{ inf PerfInference }
+
+// NewSwappableInference returns a swappable slot targeting inf.
+func NewSwappableInference(inf PerfInference) *SwappableInference {
+	s := &SwappableInference{}
+	s.Store(inf)
+	return s
+}
+
+// Load returns the current target.
+func (s *SwappableInference) Load() PerfInference { return s.p.Load().inf }
+
+// Store atomically retargets the slot. Callers must not pass nil.
+func (s *SwappableInference) Store(inf PerfInference) {
+	if inf == nil {
+		panic("core: SwappableInference target must not be nil")
+	}
+	s.p.Store(&inferBox{inf: inf})
+}
+
+// PredictPerfBatch implements PerfInference by delegating to the current
+// target, loaded once per call.
+func (s *SwappableInference) PredictPerfBatch(ctx context.Context, queries []PerfQuery, window []mathx.Vector) (mathx.Vector, []error) {
+	return s.Load().PredictPerfBatch(ctx, queries, window)
+}

@@ -1,0 +1,100 @@
+package learn
+
+import "sort"
+
+// errWindow is a bounded ring of relative prediction errors with mean/p95
+// read-outs — one per memory tier, so local and remote decay are visible
+// separately (remote predictions degrade first when the interference mix
+// shifts, since fabric contention is what the models extrapolate worst).
+type errWindow struct {
+	ring    []float64
+	n       int // filled entries
+	next    int
+	scratch []float64
+}
+
+func newErrWindow(capacity int) *errWindow {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &errWindow{ring: make([]float64, capacity), scratch: make([]float64, capacity)}
+}
+
+func (w *errWindow) observe(v float64) {
+	w.ring[w.next] = v
+	w.next = (w.next + 1) % len(w.ring)
+	if w.n < len(w.ring) {
+		w.n++
+	}
+}
+
+func (w *errWindow) reset() { w.n, w.next = 0, 0 }
+
+// stats returns the rolling mean and p95 over the retained errors.
+func (w *errWindow) stats() (mean, p95 float64, n int) {
+	if w.n == 0 {
+		return 0, 0, 0
+	}
+	s := w.scratch[:w.n]
+	copy(s, w.ring[:w.n])
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	sort.Float64s(s)
+	return sum / float64(w.n), s[(w.n-1)*95/100], w.n
+}
+
+// DriftStats is a point-in-time read-out of the drift detector.
+type DriftStats struct {
+	MeanLocal, P95Local   float64
+	MeanRemote, P95Remote float64
+	NLocal, NRemote       int
+	// Armed reports whether the detector currently exceeds its threshold.
+	Armed bool
+}
+
+// driftDetector tracks rolling relative prediction error per tier and trips
+// once either tier's mean exceeds the threshold with enough samples behind
+// it — the arming condition for a background retrain.
+type driftDetector struct {
+	local, remote *errWindow
+	threshold     float64
+	minSamples    int
+}
+
+func newDriftDetector(window int, threshold float64, minSamples int) *driftDetector {
+	return &driftDetector{
+		local:      newErrWindow(window),
+		remote:     newErrWindow(window),
+		threshold:  threshold,
+		minSamples: minSamples,
+	}
+}
+
+func (d *driftDetector) observe(remote bool, relErr float64) {
+	if remote {
+		d.remote.observe(relErr)
+	} else {
+		d.local.observe(relErr)
+	}
+}
+
+// reset clears both windows — called after a swap, so the new generation's
+// error record starts clean.
+func (d *driftDetector) reset() {
+	d.local.reset()
+	d.remote.reset()
+}
+
+func (d *driftDetector) stats() DriftStats {
+	var s DriftStats
+	s.MeanLocal, s.P95Local, s.NLocal = d.local.stats()
+	s.MeanRemote, s.P95Remote, s.NRemote = d.remote.stats()
+	s.Armed = (s.NLocal >= d.minSamples && s.MeanLocal > d.threshold) ||
+		(s.NRemote >= d.minSamples && s.MeanRemote > d.threshold)
+	return s
+}
+
+// tripped reports whether the arming condition holds.
+func (d *driftDetector) tripped() bool { return d.stats().Armed }

@@ -1,0 +1,69 @@
+package learn
+
+import (
+	"io"
+
+	"adrias/internal/obs"
+)
+
+// WriteMetrics renders the loop's Prometheus block from one consistent
+// snapshot — registered with the serve Metrics registry via AddBlock.
+func (l *Loop) WriteMetrics(w io.Writer) {
+	s := l.Snapshot()
+	obs.WriteGauge(w, "adrias_learn_model_generation",
+		"Live performance-model generation (1 = the offline seed).", float64(s.Generation))
+	obs.WriteGauge(w, "adrias_learn_state",
+		"Lifecycle state: 0 idle, 1 training, 2 shadow.", float64(s.State))
+	obs.WriteGauge(w, "adrias_learn_buffer_size",
+		"Outcomes retained in the training ring.", float64(s.BufferLen))
+	obs.WriteGauge(w, "adrias_learn_buffer_be",
+		"Best-effort outcomes retained.", float64(s.BufferBE))
+	obs.WriteGauge(w, "adrias_learn_buffer_lc",
+		"Latency-critical outcomes retained.", float64(s.BufferLC))
+	obs.WriteGauge(w, "adrias_learn_pending",
+		"Placed decisions awaiting their realized outcome.", float64(s.Pending))
+	obs.WriteCounter(w, "adrias_learn_outcomes_total",
+		"Decision outcomes joined into the training buffer.", s.Outcomes)
+	obs.WriteCounter(w, "adrias_learn_outcomes_dropped_total",
+		"Completions dropped: no pending record or unusable measurement.", s.Unmatched)
+	obs.WriteCounter(w, "adrias_learn_pending_evicted_total",
+		"Pending decisions evicted before their completion arrived.", s.Evicted)
+	obs.WriteCounter(w, "adrias_learn_no_window_total",
+		"Placements not captured for lack of a monitoring window.", s.NoWindow)
+	obs.WriteGauge(w, "adrias_learn_drift_err_mean_local",
+		"Rolling mean relative prediction error, local placements.", s.Drift.MeanLocal)
+	obs.WriteGauge(w, "adrias_learn_drift_err_p95_local",
+		"Rolling p95 relative prediction error, local placements.", s.Drift.P95Local)
+	obs.WriteGauge(w, "adrias_learn_drift_err_mean_remote",
+		"Rolling mean relative prediction error, remote placements.", s.Drift.MeanRemote)
+	obs.WriteGauge(w, "adrias_learn_drift_err_p95_remote",
+		"Rolling p95 relative prediction error, remote placements.", s.Drift.P95Remote)
+	obs.WriteGauge(w, "adrias_learn_drift_samples_local",
+		"Errors in the local drift window.", float64(s.Drift.NLocal))
+	obs.WriteGauge(w, "adrias_learn_drift_samples_remote",
+		"Errors in the remote drift window.", float64(s.Drift.NRemote))
+	armed := 0.0
+	if s.Drift.Armed {
+		armed = 1
+	}
+	obs.WriteGauge(w, "adrias_learn_drift_armed",
+		"1 when the drift detector currently exceeds its threshold.", armed)
+	obs.WriteCounter(w, "adrias_learn_retrains_total",
+		"Background retrains started.", s.Retrains)
+	obs.WriteCounter(w, "adrias_learn_retrain_failures_total",
+		"Background retrains that failed to fit a candidate.", s.RetrainFails)
+	obs.WriteCounter(w, "adrias_learn_swaps_total",
+		"Candidates promoted to live.", s.Swaps)
+	obs.WriteCounter(w, "adrias_learn_shadow_discards_total",
+		"Candidates discarded after losing the shadow comparison.", s.Discards)
+	obs.WriteGauge(w, "adrias_learn_shadow_evals",
+		"Shadow comparisons accumulated toward the current verdict.", float64(s.ShadowN))
+	obs.WriteGauge(w, "adrias_learn_last_live_err",
+		"Live mean relative error over the last completed shadow warmup.", s.LastLiveErr)
+	obs.WriteGauge(w, "adrias_learn_last_shadow_err",
+		"Candidate mean relative error over the last completed shadow warmup.", s.LastShadowErr)
+	obs.WriteGauge(w, "adrias_learn_last_shadow_flip_rate",
+		"Rule-level decision-flip rate, live vs candidate, last warmup.", s.LastShadowFlipRate)
+	obs.WriteGauge(w, "adrias_learn_last_quant_flip_rate",
+		"Int8-twin decision-flip rate at the last swap (-1: none yet).", s.LastQuantFlipRate)
+}

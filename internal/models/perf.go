@@ -309,6 +309,14 @@ func (m *PerfModel) Clone() *PerfModel {
 	return m.cloneWith(randutil.New(m.Cfg.Seed).Split(0xc2))
 }
 
+// Rebind points the model's signature lookups at a different store. The
+// online learning loop fits a candidate against a point-in-time snapshot
+// (so training never races with live captures) and rebinds it to the live
+// store at promotion, so applications cold-started after the snapshot
+// resolve once their signatures land. Callers must serialize Rebind with
+// inference on the same instance.
+func (m *PerfModel) Rebind(sigs *SignatureStore) { m.sigs = sigs }
+
 // step returns the per-sample forward/backward closure the trainer drives:
 // sample pi is a position into the shuffled permutation over trainIdx.
 func (m *PerfModel) step(samples []PerfSample, trainIdx []int) func(int) (float64, error) {

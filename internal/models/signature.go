@@ -68,6 +68,22 @@ func (s *SignatureStore) Put(name string, trace []mathx.Vector) error {
 	return nil
 }
 
+// Clone returns a deep, independent copy of the store. The online learning
+// loop snapshots the live store with it before a background fit, so the
+// candidate model's signature reads never race with in-situ captures on the
+// serving path.
+func (s *SignatureStore) Clone() *SignatureStore {
+	out := NewSignatureStore(s.SeqLen)
+	for name, sig := range s.sigs {
+		steps := make([]mathx.Vector, len(sig.Steps))
+		for i, r := range sig.Steps {
+			steps[i] = r.Clone()
+		}
+		out.sigs[name] = Signature{Name: name, Steps: steps}
+	}
+	return out
+}
+
 // Names returns the stored application names, sorted.
 func (s *SignatureStore) Names() []string {
 	out := make([]string, 0, len(s.sigs))

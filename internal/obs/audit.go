@@ -24,6 +24,14 @@ type DecisionRecord struct {
 	Fallback    bool      `json:"fallback,omitempty"`
 	Reason      string    `json:"reason"`
 	BatchSize   int       `json:"batch_size,omitempty"`
+	// ModelGen is the live model generation that produced the decision
+	// (0 when the online learning loop is disabled), so post-swap decision
+	// mixes can be attributed to the model that made them.
+	ModelGen int `json:"model_gen,omitempty"`
+	// Event marks non-decision lifecycle records interleaved in the log —
+	// currently "model-swap", recorded when the learning loop promotes a
+	// retrained candidate.
+	Event string `json:"event,omitempty"`
 }
 
 // AuditLog retains the most recent decision records in a fixed-size ring,

@@ -13,6 +13,7 @@ import (
 	"adrias/internal/cluster"
 	"adrias/internal/core"
 	"adrias/internal/faults"
+	"adrias/internal/learn"
 	"adrias/internal/memsys"
 	"adrias/internal/obs"
 	"adrias/internal/randutil"
@@ -65,6 +66,17 @@ type EngineConfig struct {
 	// error budget (decision-flip rate ≤ 1%, DESIGN.md §12). Fault
 	// injection and the breaker stack on top of it unchanged.
 	Quantized bool
+	// Learn, when set, runs the online model-lifecycle loop (DESIGN.md §13):
+	// realized outcomes are joined back to their decisions, prediction-error
+	// drift arms a background retrain, and a shadow-winning candidate is
+	// hot-swapped in (the quantized twin re-derived when Quantized).
+	Learn *learn.Config
+	// AmbientRampTo, with AmbientRampSec, linearly shifts the ambient
+	// arrival rate from AmbientRate to this value over AmbientRampSec
+	// simulated seconds after serving starts — an induced drift in the
+	// interference mix for exercising the learning loop (0: no ramp).
+	AmbientRampTo  float64
+	AmbientRampSec float64
 }
 
 func (c EngineConfig) withDefaults(histTicks int) EngineConfig {
@@ -104,13 +116,22 @@ type SystemEngine struct {
 	cfg   EngineConfig
 	audit *obs.AuditLog   // nil until RegisterObs
 	brk   *faults.Breaker // nil when DisableBreaker
+	// base is the swappable slot at the bottom of the inference stack; the
+	// learning loop retargets it on promotion. learner is nil unless
+	// EngineConfig.Learn is set.
+	base    *core.SwappableInference
+	learner *learn.Loop
 
 	// PlaceBatchInto scratch, reused across batches under mu.
 	batProfiles []*workload.Profile
 	batIdx      []int
 	batDS       []core.Decision
+	batPlace    []learn.Placement
 
 	ambientStarted uint64
+	// serveStart anchors the ambient-rate ramp (simulated time at the end
+	// of warmup).
+	serveStart float64
 	// ambientClock is the simulated time (whole-second slots) through which
 	// ambient arrivals have been generated. It carries fractional Advance
 	// remainders across calls, so sub-second cadences sustain the same
@@ -154,27 +175,22 @@ func NewSystemEngine(pred *core.Predictor, watch *core.Watcher, reg *workload.Re
 		}
 	}
 	// In-situ signature capture for cold-started apps, write-through the
-	// cache so HTTP-layer readers see it immediately.
+	// cache so HTTP-layer readers see it immediately; when the learning
+	// loop is on, completions it expects are joined back to their decisions.
 	e.cl.OnComplete = func(in *workload.Instance) {
-		if in.Tier != memsys.TierRemote || in.Profile.Class == workload.Interference {
-			return
-		}
-		if e.sigs.Has(in.Profile.Name) {
-			return
-		}
-		trace := e.watch.TraceBetween(e.cl, in.StartAt, in.DoneAt)
-		if len(trace) == 0 {
-			return
-		}
-		_ = e.sigs.Put(in.Profile.Name, trace)
+		e.captureSignature(in)
+		e.captureOutcome(in)
 	}
-	// Degradation stack over the prediction path: fault injection closest
+	// Degradation stack over the prediction path: the swappable slot at the
+	// bottom (the learning loop's hot-swap point), fault injection closest
 	// to the model, then the circuit breaker + last-good cache on top, so
 	// the breaker sees injected failures exactly as it would real ones.
-	var infer core.PerfInference = pred
+	var inner core.PerfInference = pred
 	if cfg.Quantized {
-		infer = core.NewQuantPredictor(pred)
+		inner = core.NewQuantPredictor(pred)
 	}
+	e.base = core.NewSwappableInference(inner)
+	var infer core.PerfInference = e.base
 	if cfg.Faults != nil {
 		infer = &faults.FaultyPredictor{Inner: infer, Inj: cfg.Faults}
 	}
@@ -187,6 +203,17 @@ func NewSystemEngine(pred *core.Predictor, watch *core.Watcher, reg *workload.Re
 		infer = faults.NewGuardedPredictor(infer, e.brk)
 	}
 	e.orch.Infer = infer
+	if cfg.Learn != nil {
+		e.learner = learn.New(*cfg.Learn, learn.Deps{
+			Base:      e.base,
+			Live:      pred,
+			Quantized: cfg.Quantized,
+			Beta:      cfg.Beta,
+			QoSMs:     e.orch.QoSMs,
+			SimNow:    e.SimNow,
+			OnSwap:    e.recordSwap,
+		})
+	}
 	fab := e.cl.Node().Fabric()
 	e.orch.FabricDegraded = fab.Degraded
 	if cfg.Faults != nil {
@@ -204,6 +231,7 @@ func NewSystemEngine(pred *core.Predictor, watch *core.Watcher, reg *workload.Re
 	e.cl.Deploy(spark[e.rng.Intn(len(spark))], memsys.TierLocal)
 	e.cl.Run(float64(cfg.WarmupTicks))
 	e.ambientClock = e.cl.Now()
+	e.serveStart = e.cl.Now()
 	e.setSimNow(e.cl.Now())
 	if cfg.Faults != nil {
 		// Arm the schedule now — warmup ran clean, event times count from
@@ -212,6 +240,91 @@ func NewSystemEngine(pred *core.Predictor, watch *core.Watcher, reg *workload.Re
 		cfg.Faults.Start(e.cl.Now())
 	}
 	return e
+}
+
+// captureSignature stores an in-situ signature for a cold-started app that
+// just completed a remote run. Runs inside cl.Run under the engine lock.
+func (e *SystemEngine) captureSignature(in *workload.Instance) {
+	if in.Tier != memsys.TierRemote || in.Profile.Class == workload.Interference {
+		return
+	}
+	if e.sigs.Has(in.Profile.Name) {
+		return
+	}
+	trace := e.watch.TraceBetween(e.cl, in.StartAt, in.DoneAt)
+	if len(trace) == 0 {
+		return
+	}
+	_ = e.sigs.Put(in.Profile.Name, trace)
+}
+
+// captureOutcome joins a completed served instance back to its pending
+// decision in the learning loop: realized performance (execution time for
+// BE, p99 latency for LC) plus the realized future-state means. The cheap
+// Expects guard keeps ambient completions from paying the history scans.
+// Runs inside cl.Run under the engine lock.
+func (e *SystemEngine) captureOutcome(in *workload.Instance) {
+	if e.learner == nil || !e.learner.Expects(in.ID) {
+		return
+	}
+	now := e.cl.Now()
+	realized := in.ExecTime(now)
+	if in.Profile.Class == workload.LatencyCritical {
+		realized = in.TailLatency(99)
+	}
+	futEnd := in.StartAt + float64(e.watch.HistTicks)
+	if in.DoneAt < futEnd {
+		futEnd = in.DoneAt
+	}
+	fut120 := learn.MeanRows(e.watch.TraceBetween(e.cl, in.StartAt, futEnd))
+	futExec := fut120
+	if in.DoneAt > futEnd {
+		futExec = learn.MeanRows(e.watch.TraceBetween(e.cl, in.StartAt, in.DoneAt))
+	}
+	e.learner.Complete(in.ID, realized, fut120, futExec, now)
+}
+
+// modelGenEvent is the bus payload for one model promotion on topic
+// "model.generations".
+type modelGenEvent struct {
+	Generation     int     `json:"generation"`
+	Class          string  `json:"class"`
+	LiveErr        float64 `json:"live_err"`
+	ShadowErr      float64 `json:"shadow_err"`
+	ShadowFlipRate float64 `json:"shadow_flip_rate"`
+	QuantFlipRate  float64 `json:"quant_flip_rate"`
+	ShadowEvals    int     `json:"shadow_evals"`
+	SimTime        float64 `json:"sim_time_s"`
+}
+
+// recordSwap audits and publishes one model promotion. Invoked by the
+// learning loop at swap time, on the engine's lock context.
+func (e *SystemEngine) recordSwap(ev learn.SwapEvent) {
+	if e.audit != nil {
+		e.audit.Record(obs.DecisionRecord{
+			Time:      time.Now(),
+			SimTime:   ev.SimTime,
+			App:       "-",
+			Class:     ev.Class.String(),
+			Tier:      "-",
+			Reason:    "model-swap",
+			Event:     "model-swap",
+			ModelGen:  ev.Gen,
+			BatchSize: ev.ShadowN,
+		})
+	}
+	if e.cfg.Bus != nil {
+		_, _ = e.cfg.Bus.Publish("model.generations", modelGenEvent{
+			Generation:     ev.Gen,
+			Class:          ev.Class.String(),
+			LiveErr:        ev.LiveErr,
+			ShadowErr:      ev.ShadowErr,
+			ShadowFlipRate: ev.ShadowFlipRate,
+			QuantFlipRate:  ev.QuantFlipRate,
+			ShadowEvals:    ev.ShadowN,
+			SimTime:        ev.SimTime,
+		})
+	}
 }
 
 // decisionEvent is the bus payload for one placement decision — the
@@ -285,6 +398,11 @@ func (e *SystemEngine) PlaceBatchInto(ctx context.Context, reqs []PlaceRequest, 
 	ds := e.batDS[:len(profiles)]
 	e.orch.DecideBatchInto(ctx, profiles, e.cl, ds)
 	now := time.Now()
+	modelGen := 0
+	if e.learner != nil {
+		modelGen = e.learner.Generation()
+	}
+	place := e.batPlace[:0]
 	for k, i := range idx {
 		d := ds[k]
 		results[i].Tier = d.Tier
@@ -294,7 +412,19 @@ func (e *SystemEngine) PlaceBatchInto(ctx context.Context, reqs []PlaceRequest, 
 		results[i].Fallback = d.Fallback
 		results[i].Reason = d.Reason
 		if !reqs[i].DryRun {
-			e.cl.Deploy(profiles[k], d.Tier)
+			in := e.cl.Deploy(profiles[k], d.Tier)
+			if e.learner != nil && in != nil && in.Profile.Class != workload.Interference {
+				// Note in.Tier, not d.Tier: Deploy may fall back on capacity.
+				place = append(place, learn.Placement{
+					InstID:    in.ID,
+					TraceID:   reqs[i].TraceID,
+					App:       d.App,
+					Class:     in.Profile.Class,
+					Tier:      in.Tier,
+					PredLocal: d.PredLocal,
+					PredRem:   d.PredRem,
+				})
+			}
 		}
 		if e.audit != nil {
 			e.audit.Record(obs.DecisionRecord{
@@ -312,6 +442,7 @@ func (e *SystemEngine) PlaceBatchInto(ctx context.Context, reqs []PlaceRequest, 
 				Fallback:    d.Fallback,
 				Reason:      d.Reason,
 				BatchSize:   len(profiles),
+				ModelGen:    modelGen,
 			})
 		}
 		if e.cfg.Bus != nil {
@@ -321,6 +452,13 @@ func (e *SystemEngine) PlaceBatchInto(ctx context.Context, reqs []PlaceRequest, 
 				ColdStart: d.ColdStart, Reason: d.Reason,
 			})
 		}
+	}
+	e.batPlace = place
+	if e.learner != nil && len(place) > 0 {
+		// The window the decisions saw (watcher scratch; the loop clones it
+		// once per batch). The shadow candidate, when active, predicts the
+		// same admissions here.
+		e.learner.OnBatch(e.watch.WindowInto(e.cl), place)
 	}
 }
 
@@ -345,7 +483,7 @@ func (e *SystemEngine) Advance(simSec float64) {
 	for e.ambientClock+1 <= target+eps {
 		slot := e.ambientClock
 		e.ambientClock++
-		if !e.rng.Bernoulli(e.cfg.AmbientRate) {
+		if !e.rng.Bernoulli(e.ambientRateAt(slot)) {
 			continue
 		}
 		p := e.pickAmbient()
@@ -371,7 +509,30 @@ func (e *SystemEngine) Advance(simSec float64) {
 			Time: e.cl.Now(), Metrics: s.Vector(), Running: len(e.cl.Running()),
 		})
 	}
+	if e.learner != nil {
+		e.learner.Poll(e.cl.Now())
+	}
 }
+
+// ambientRateAt returns the ambient arrival rate for the slot starting at
+// simulated time slot — constant AmbientRate, or linearly ramped toward
+// AmbientRampTo over AmbientRampSec after serving start (induced drift).
+func (e *SystemEngine) ambientRateAt(slot float64) float64 {
+	if e.cfg.AmbientRampTo <= 0 || e.cfg.AmbientRampSec <= 0 {
+		return e.cfg.AmbientRate
+	}
+	frac := (slot - e.serveStart) / e.cfg.AmbientRampSec
+	if frac <= 0 {
+		return e.cfg.AmbientRate
+	}
+	if frac >= 1 {
+		return e.cfg.AmbientRampTo
+	}
+	return e.cfg.AmbientRate + frac*(e.cfg.AmbientRampTo-e.cfg.AmbientRate)
+}
+
+// Learner exposes the online learning loop (nil when disabled).
+func (e *SystemEngine) Learner() *learn.Loop { return e.learner }
 
 func (e *SystemEngine) pickAmbient() *workload.Profile {
 	if e.rng.Bernoulli(e.cfg.IBenchShare) {
@@ -464,6 +625,9 @@ func (e *SystemEngine) RegisterMetrics(m *Metrics) {
 			obs.WriteCounter(w, "adrias_serve_breaker_short_circuited_total", "Prediction batches short-circuited while open.", c.ShortCircuited)
 		}
 	})
+	if e.learner != nil {
+		m.AddBlock(e.learner.WriteMetrics)
+	}
 }
 
 // RegisterObs wires the engine into the service's observability surfaces:

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
+
+	"adrias/internal/obs"
 )
 
 // PlaceHTTPRequest is the JSON body of POST /v1/place.
@@ -76,6 +79,21 @@ type HealthSource interface {
 func NewHandler(svc *Service, health HealthSource) http.Handler {
 	mux := http.NewServeMux()
 	appNames := newInternTable(256)
+	// Surface the intern table's capacity behaviour: hitting the cap
+	// silently degrades to per-request allocations, so make it observable.
+	svc.Metrics().AddBlock(func(w io.Writer) {
+		size, capacity, skips := appNames.stats()
+		obs.WriteGauge(w, "adrias_serve_intern_size",
+			"App names interned by the request decoder.", float64(size))
+		full := 0.0
+		if size >= capacity {
+			full = 1
+		}
+		obs.WriteGauge(w, "adrias_serve_intern_full",
+			"1 once the intern table reached capacity (new names allocate per request).", full)
+		obs.WriteCounter(w, "adrias_serve_intern_full_skips_total",
+			"Interns served without admission because the table was full.", skips)
+	})
 	mux.HandleFunc("POST /v1/place", func(w http.ResponseWriter, r *http.Request) {
 		// Hot path: pooled scratch for body, request struct, and response
 		// bytes. The fast parser covers the steady-state body shape; any

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"io"
+	"log/slog"
 	"math"
 	"strconv"
 	"sync"
@@ -60,6 +61,11 @@ type internTable struct {
 	mu  sync.RWMutex
 	m   map[string]string
 	cap int
+	// fullSkips counts interns served without admission because the table
+	// was at capacity — previously a silent degradation to per-request
+	// allocations; now surfaced on /metrics and warned about once.
+	fullSkips uint64
+	warnOnce  sync.Once
 }
 
 func newInternTable(capacity int) *internTable {
@@ -80,9 +86,23 @@ func (t *internTable) intern(b []byte) string {
 	t.mu.Lock()
 	if len(t.m) < t.cap {
 		t.m[s] = s
+	} else {
+		t.fullSkips++
+		t.warnOnce.Do(func() {
+			slog.Warn("serve: app-name intern table full; new names now allocate per request",
+				"capacity", t.cap, "name", s)
+		})
 	}
 	t.mu.Unlock()
 	return s
+}
+
+// stats returns the table occupancy, its capacity, and the number of
+// interns skipped because the table was full.
+func (t *internTable) stats() (size, capacity int, fullSkips uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.m), t.cap, t.fullSkips
 }
 
 // parsePlaceRequest decodes the POST /v1/place body into req on the fast

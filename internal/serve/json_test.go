@@ -286,9 +286,13 @@ type hotPathFixture struct {
 }
 
 func newHotPathFixture(tb testing.TB, quant bool) *hotPathFixture {
+	return newHotPathFixtureCfg(tb, EngineConfig{Seed: 21, Quantized: quant})
+}
+
+func newHotPathFixtureCfg(tb testing.TB, cfg EngineConfig) *hotPathFixture {
 	apps := []string{"gmm", "nweight", "pagerank", "redis", "gmm", "svm", "memcached", "linear"}
 	f := &hotPathFixture{
-		eng:     tinyEngine(tb, EngineConfig{Seed: 21, Quantized: quant}),
+		eng:     tinyEngine(tb, cfg),
 		names:   newInternTable(256),
 		reqs:    make([]PlaceRequest, len(apps)),
 		results: make([]PlaceResult, len(apps)),

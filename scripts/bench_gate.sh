@@ -13,8 +13,13 @@
 #   * the quantized serve hot path is ≥ MIN_SPEEDUP× the float baseline
 #     (default 1.5; set MIN_SPEEDUP=0 to record without gating).
 #
+# Besides OUT, the results are mirrored into a numbered per-PR artifact
+# BENCH_<n>.json (n from PR_NUM, else one past the highest number already
+# present) so `benchdiff.sh` with no arguments can compare the latest two
+# PRs' gate numbers.
+#
 # Env: OUT (default BENCH_quantfast.json), BENCHTIME (default 50x),
-#      FLIP_BUDGET, MIN_SPEEDUP.
+#      FLIP_BUDGET, MIN_SPEEDUP, PR_NUM.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -105,3 +110,14 @@ END {
 }' "$bench_txt"
 
 echo "bench-gate: wrote $OUT"
+
+# Per-PR history: number this run's results so the trajectory across PRs is
+# diffable from the repo alone (benchdiff.sh picks the latest two by number).
+if [ -n "${PR_NUM:-}" ]; then
+  n="$PR_NUM"
+else
+  last="$(ls BENCH_[0-9]*.json 2>/dev/null | sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$/\1/p' | sort -n | tail -1)"
+  n=$((${last:-0} + 1))
+fi
+cp "$OUT" "BENCH_${n}.json"
+echo "bench-gate: wrote BENCH_${n}.json"

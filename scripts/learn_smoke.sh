@@ -1,0 +1,176 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the online learning loop: start adrias-serve with
+# the learning loop armed (-learn -quantized) and a drifting ambient-load
+# program (-ambient-ramp-to shifts the interference mix after serving
+# starts), drive sparse deployed placements through the adrias-bench load
+# generator so their realized outcomes join back, and require:
+#
+#   - the drift detector trips and a retrain runs (adrias_learn_retrains_total ≥ 1),
+#   - the shadow candidate is promoted (adrias_learn_swaps_total ≥ 1,
+#     adrias_learn_model_generation ≥ 2),
+#   - the candidate beat the live model on the shadowed admissions
+#     (adrias_learn_last_shadow_err < adrias_learn_last_live_err),
+#   - the re-derived int8 twin stays within the 1% decision-flip budget,
+#   - the swap is audited (a "model-swap" record on /debug/decisions and the
+#     generation marker in adrias-bench -dump-decisions),
+#   - SIGTERM still drains cleanly afterward.
+#
+# Load calibration: the paper testbed saturates near 0.08 arrivals per
+# simulated second — past it, instances pile up, almost nothing completes,
+# and no outcomes ever join. The ramp (0.02 → 0.05) plus the served load
+# (-rate 8 wall-req/s at 500 sim-s per wall-s ≈ 0.016/sim-s) stays under
+# that knee while still shifting the mix enough to trip the detector.
+# With ARTIFACT_DIR set, the /metrics and /debug/decisions scrapes are
+# saved there for upload as a CI artifact.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+port="${PORT:-7744}"
+tmp="$(mktemp -d)"
+scrapes="${ARTIFACT_DIR:-$tmp/scrapes}"
+mkdir -p "$scrapes"
+pid=""
+bench=""
+cleanup() {
+  [ -n "$bench" ] && kill "$bench" 2>/dev/null || true
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/adrias-serve" ./cmd/adrias-serve
+go build -o "$tmp/adrias-bench" ./cmd/adrias-bench
+
+# 500 simulated seconds per wall second; lifecycle thresholds scaled down so
+# the full drift→retrain→shadow→swap round completes within the run. The
+# shadow margin stays at its strict default (candidate must beat the live
+# model outright), so a promotion implies the post-swap error improved —
+# a losing candidate is discarded and the loop retries after the cooldown.
+"$tmp/adrias-serve" -listen "127.0.0.1:$port" -tick 20ms -sim-per-tick 10 \
+  -seed 11 -quantized -learn \
+  -ambient 0.02 -ambient-ramp-to 0.05 -ambient-ramp-sec 2000 \
+  -learn-drift-threshold 0.05 -learn-drift-window 64 \
+  -learn-min-outcomes 16 -learn-shadow-warmup 10 \
+  -learn-cooldown 30 -learn-epochs 4 \
+  >"$tmp/serve.log" 2>&1 &
+pid=$!
+
+ready=""
+for _ in $(seq 1 120); do
+  if curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+    ready=1
+    break
+  fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "adrias-serve exited before becoming healthy:" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+  fi
+  sleep 1
+done
+if [ -z "$ready" ]; then
+  echo "adrias-serve did not become healthy in time:" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+fi
+
+# Sparse DEPLOYED placements (not dry runs): each one completes on the
+# testbed minutes of simulated time later and joins back as a training
+# outcome. BE-only mix — the drifting ambient load is what moves their
+# realized execution times.
+"$tmp/adrias-bench" -target "http://127.0.0.1:$port" -n 2000 -conc 2 \
+  -rate 8 -dry-run=false -apps gmm,pagerank,kmeans,wordcount \
+  >"$scrapes/loadgen.txt" 2>&1 &
+bench=$!
+
+# Poll /metrics until the loop completes a full lifecycle round (swap
+# observed), then stop the load.
+swapped=""
+for _ in $(seq 1 240); do
+  curl -fsS "http://127.0.0.1:$port/metrics" >"$scrapes/metrics.txt" 2>/dev/null || true
+  swaps="$(awk '/^adrias_learn_swaps_total /{print $2}' "$scrapes/metrics.txt")"
+  if [ -n "$swaps" ] && [ "${swaps%.*}" -ge 1 ] 2>/dev/null; then
+    swapped=1
+    break
+  fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "adrias-serve died mid-run:" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+kill "$bench" 2>/dev/null || true
+wait "$bench" 2>/dev/null || true
+bench=""
+if [ -z "$swapped" ]; then
+  echo "no model swap within the polling budget; learn metrics:" >&2
+  grep '^adrias_learn' "$scrapes/metrics.txt" >&2 || true
+  exit 1
+fi
+
+# The lifecycle must be visible end to end in /metrics: a retrain ran, the
+# generation advanced, the shadow candidate beat the live model on the same
+# admissions, and the re-derived int8 twin held the decision-flip budget.
+awk '
+/^adrias_learn_retrains_total /     { retrains = $2 }
+/^adrias_learn_model_generation /   { gen = $2 }
+/^adrias_learn_last_live_err /      { live = $2 }
+/^adrias_learn_last_shadow_err /    { shadow = $2 }
+/^adrias_learn_last_quant_flip_rate / { flip = $2 }
+/^adrias_learn_outcomes_total /     { outcomes = $2 }
+END {
+  failed = 0
+  if (retrains + 0 < 1)  { print "FAIL retrains_total " retrains " < 1"; failed = 1 }
+  if (gen + 0 < 2)       { print "FAIL model_generation " gen " < 2"; failed = 1 }
+  if (outcomes + 0 < 16) { print "FAIL outcomes_total " outcomes " < 16"; failed = 1 }
+  if (live + 0 <= 0 || shadow + 0 <= 0) {
+    print "FAIL shadow verdict errors missing (live " live ", shadow " shadow ")"; failed = 1
+  } else if (shadow + 0 >= live + 0) {
+    print "FAIL post-swap error did not improve: shadow " shadow " >= live " live; failed = 1
+  } else {
+    printf "ok   shadow err %.4f < live err %.4f\n", shadow, live
+  }
+  # The swap-time replay covers only the recent buffered outcomes (tens of
+  # decisions), so one borderline flip quantizes the rate to ~2%; the strict
+  # 1% budget is enforced on the 1120-decision bench-gate replay, this gate
+  # just catches a broken re-derivation.
+  if (flip + 0 < 0 || flip + 0 > 0.05) {
+    print "FAIL quantized-twin flip rate " flip " outside [0, 0.05]"; failed = 1
+  }
+  if (!failed) print "ok   learn lifecycle: retrains " retrains ", generation " gen ", outcomes " outcomes ", quant flip " flip
+  exit failed
+}' "$scrapes/metrics.txt"
+
+# The swap is audited: a model-swap record with the new generation on
+# /debug/decisions. Substring checks grep the saved scrape, not
+# `echo | grep -q` (SIGPIPE under pipefail).
+curl -fsS "http://127.0.0.1:$port/debug/decisions" >"$scrapes/decisions.json"
+for field in '"event": *"model-swap"' '"reason": *"model-swap"' '"model_gen"'; do
+  grep -Eq "$field" "$scrapes/decisions.json" || {
+    echo "missing $field in /debug/decisions" >&2
+    exit 1
+  }
+done
+
+# The generation markers surface in the adrias-bench audit dump too.
+"$tmp/adrias-bench" -target "http://127.0.0.1:$port" -n 8 -conc 2 \
+  -dry-run=false -apps gmm,pagerank -dump-decisions \
+  >"$scrapes/dump.txt" 2>&1
+grep -q 'model swap:' "$scrapes/dump.txt" || {
+  echo "no model-swap marker in adrias-bench -dump-decisions output:" >&2
+  tail -20 "$scrapes/dump.txt" >&2
+  exit 1
+}
+
+# Nothing may have panicked, and the drain must still be clean.
+if grep -qi 'panic' "$tmp/serve.log"; then
+  echo "panic in server log:" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+fi
+kill -TERM "$pid"
+wait "$pid" # non-zero (under set -e) if the drain was not clean
+pid=""
+cp "$tmp/serve.log" "$scrapes/serve.log"
+echo "learn smoke OK"
