@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-gate fmt vet serve-smoke chaos-smoke learn-smoke trace-overhead ci
+.PHONY: build test race bench bench-gate fmt vet serve-smoke chaos-smoke shard-smoke learn-smoke trace-overhead ci
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,13 @@ serve-smoke:
 chaos-smoke:
 	./scripts/chaos_smoke.sh
 
+## shard-smoke: end-to-end smoke of the scale-out placement tier: 4 replica
+## deciders over a 2-node rack with a chaos schedule armed, concurrent
+## deploying load, per-node occupancy on /metrics, consistent
+## commit-conflict accounting, cross-rack placements in the audit log.
+shard-smoke:
+	./scripts/shard_smoke.sh
+
 ## learn-smoke: end-to-end smoke of the online learning loop: serve with
 ## -learn and a drifting ambient ramp, deploy placements so outcomes join
 ## back, require drift → retrain → shadow win → audited hot swap.
@@ -59,4 +66,4 @@ learn-smoke:
 trace-overhead:
 	./scripts/trace_overhead.sh
 
-ci: build fmt vet test race bench bench-gate serve-smoke chaos-smoke learn-smoke trace-overhead
+ci: build fmt vet test race bench bench-gate serve-smoke chaos-smoke shard-smoke learn-smoke trace-overhead

@@ -30,10 +30,11 @@ type loadGenStats struct {
 	latencies []time.Duration
 	status    map[int]int
 	tiers     map[string]int
-	transport int // requests that never got an HTTP response
+	nodeTiers map[string]int // "node0 remote" → count; keyed per rack node
+	transport int            // requests that never got an HTTP response
 }
 
-func (s *loadGenStats) record(lat time.Duration, code int, tier string, transportErr bool) {
+func (s *loadGenStats) record(lat time.Duration, code int, tier string, node int, transportErr bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if transportErr {
@@ -44,6 +45,7 @@ func (s *loadGenStats) record(lat time.Duration, code int, tier string, transpor
 	s.status[code]++
 	if tier != "" {
 		s.tiers[tier]++
+		s.nodeTiers[fmt.Sprintf("node%d %s", node, tier)]++
 	}
 }
 
@@ -76,7 +78,7 @@ func runLoadGen(o loadGenOpts) int {
 		}
 	}()
 
-	stats := &loadGenStats{status: map[int]int{}, tiers: map[string]int{}}
+	stats := &loadGenStats{status: map[int]int{}, tiers: map[string]int{}, nodeTiers: map[string]int{}}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < o.conc; w++ {
@@ -92,11 +94,12 @@ func runLoadGen(o loadGenOpts) int {
 				resp, err := client.Post(base+"/v1/place", "application/json", bytes.NewReader(body))
 				lat := time.Since(t0)
 				if err != nil {
-					stats.record(0, 0, "", true)
+					stats.record(0, 0, "", 0, true)
 					continue
 				}
 				var out struct {
 					Tier string `json:"tier"`
+					Node int    `json:"node"`
 				}
 				_ = json.NewDecoder(resp.Body).Decode(&out)
 				io.Copy(io.Discard, resp.Body)
@@ -105,7 +108,7 @@ func runLoadGen(o loadGenOpts) int {
 				if resp.StatusCode == http.StatusOK {
 					tier = out.Tier
 				}
-				stats.record(lat, resp.StatusCode, tier, false)
+				stats.record(lat, resp.StatusCode, tier, out.Node, false)
 			}
 		}()
 	}
@@ -145,6 +148,20 @@ func runLoadGen(o loadGenOpts) int {
 	}
 	fmt.Println()
 	fmt.Printf("placements: %d local, %d remote\n", stats.tiers["local"], stats.tiers["remote"])
+	// Per-node mix: only worth a line when the rack has more than one node
+	// (single-node responses all land on node0).
+	if len(stats.nodeTiers) > 0 {
+		keys := make([]string, 0, len(stats.nodeTiers))
+		for k := range stats.nodeTiers {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("per-node mix:")
+		for _, k := range keys {
+			fmt.Printf("  %s×%d", k, stats.nodeTiers[k])
+		}
+		fmt.Println()
+	}
 
 	bad := stats.transport
 	for c, n := range stats.status {
@@ -185,6 +202,7 @@ func dumpDecisions(client *http.Client, base string) error {
 			App         string  `json:"app"`
 			Class       string  `json:"class"`
 			Tier        string  `json:"tier"`
+			Node        int     `json:"node"`
 			PredLocalS  float64 `json:"pred_local_s"`
 			PredRemoteS float64 `json:"pred_remote_s"`
 			Beta        float64 `json:"beta"`
@@ -207,7 +225,11 @@ func dumpDecisions(client *http.Client, base string) error {
 				d.Class, d.ModelGen, d.BatchSize)
 			continue
 		}
-		fmt.Printf("  %-14s %-10s %-6s → %-6s %-13s", d.TraceID, d.App, d.Class, d.Tier, d.Reason)
+		target := d.Tier
+		if d.Node > 0 {
+			target = fmt.Sprintf("%s@n%d", d.Tier, d.Node)
+		}
+		fmt.Printf("  %-14s %-10s %-6s → %-9s %-13s", d.TraceID, d.App, d.Class, target, d.Reason)
 		if d.PredLocalS > 0 || d.PredRemoteS > 0 {
 			fmt.Printf("  t̂_local %.2f  t̂_remote %.2f  β %.2f", d.PredLocalS, d.PredRemoteS, d.Beta)
 		}

@@ -22,7 +22,7 @@
 //	             [-quantized] [-learn] [-learn-drift-threshold 0.35]
 //	             [-learn-min-outcomes 64] [-learn-shadow-warmup 32]
 //	             [-learn-cooldown 300] [-ambient-ramp-to 0.6]
-//	             [-ambient-ramp-sec 300]
+//	             [-ambient-ramp-sec 300] [-replicas 1] [-nodes 1]
 //
 // Without -models the fast offline phase trains a small model set first
 // (≈10 s). -debug-addr opens a second listener with the pprof surface
@@ -45,6 +45,17 @@
 // appear in /debug/decisions ("model-swap") and on bus topic
 // "model.generations". -ambient-ramp-to/-ambient-ramp-sec shift the ambient
 // load after start, the induced-drift program the smoke test uses.
+//
+// -replicas runs N placement deciders over a shared versioned rack-state
+// view (DESIGN.md §14): each replica decides optimistically without the
+// engine lock and commits its claims through a single sequencer; losers of
+// the commit race retry against the refreshed view and downgrade to safe
+// local with reason "commit-conflict" when the headroom is gone. -nodes
+// sizes the simulated rack — each node carries its own ThymesisFlow fabric
+// and remote pool, and placements choose which pool to claim (responses and
+// /debug/decisions carry the node). -learn is incompatible with
+// -replicas > 1: hot-swap retargets the shared inference slot that
+// per-replica clones would bypass.
 package main
 
 import (
@@ -101,6 +112,8 @@ func main() {
 	learnEpochs := flag.Int("learn-epochs", 0, "candidate fit epochs (0: inherit the live model's configuration)")
 	ambientRampTo := flag.Float64("ambient-ramp-to", 0, "ambient rate to ramp toward after serving starts (0: no ramp)")
 	ambientRampSec := flag.Float64("ambient-ramp-sec", 0, "simulated seconds over which the ambient ramp completes")
+	replicas := flag.Int("replicas", 1, "replica placement deciders over the shared rack-state view")
+	rackNodes := flag.Int("nodes", 1, "simulated rack size: nodes with their own fabric and remote pool")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -127,6 +140,15 @@ func main() {
 	}
 	if *ambientRampTo > 0 && *ambientRampSec <= 0 {
 		fail("-ambient-ramp-to requires -ambient-ramp-sec > 0")
+	}
+	if *replicas < 1 {
+		fail("-replicas must be ≥ 1 (got %d)", *replicas)
+	}
+	if *rackNodes < 1 {
+		fail("-nodes must be ≥ 1 (got %d)", *rackNodes)
+	}
+	if *learnOn && *replicas > 1 {
+		fail("-learn is incompatible with -replicas > 1: the hot-swap slot is bypassed by per-replica model clones")
 	}
 	var learnCfg *learn.Config
 	if *learnOn {
@@ -178,6 +200,7 @@ func main() {
 		QoSFactor:   *qosFactor,
 		AmbientRate: *ambient,
 		Seed:        *seed,
+		Nodes:       *rackNodes,
 		Bus:         events,
 		Faults:      injector,
 		Breaker: faults.BreakerConfig{
@@ -198,7 +221,11 @@ func main() {
 		MaxBatch:       *maxBatch,
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: *timeout,
+		Replicas:       *replicas,
 	})
+	if *replicas > 1 || *rackNodes > 1 {
+		fmt.Printf("scale-out placement: %d replica deciders over a %d-node rack\n", *replicas, *rackNodes)
+	}
 	eng.RegisterMetrics(svc.Metrics())
 	// One registry feeds /metrics: serve + runtime series are pre-registered
 	// by the service; add the testbed fabric, the bus, and model inference.
@@ -218,7 +245,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer busSrv.Close()
-		fmt.Printf("event bus on tcp://%s (topics orchestrator.decisions, watcher.samples, model.generations)\n", busSrv.Addr())
+		fmt.Printf("event bus on tcp://%s (topics orchestrator.decisions, watcher.samples, model.generations, cluster.view)\n", busSrv.Addr())
 	}
 	if *debugAddr != "" {
 		dln, err := net.Listen("tcp", *debugAddr)

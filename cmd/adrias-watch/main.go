@@ -2,12 +2,22 @@
 // samples and Orchestrator decisions as they are published — the
 // observer-side counterpart of the paper's ZeroMQ topology.
 //
+// The cluster.view topic (published by adrias-serve once per testbed tick)
+// is rendered as a per-node occupancy line instead of raw JSON, with deltas
+// against the previously seen view so rack rebalancing is visible at a
+// glance:
+//
+//	[cluster.view] v=1042 t=310s | node0 run=7(+1) remote=504.0GB(-8.0) fab=12% | node1 ...
+//
 // Usage:
 //
-//	adrias-watch [-addr 127.0.0.1:7601] [-topics watcher.samples,orchestrator.decisions,model.generations] [-n max]
+//	adrias-watch [-addr 127.0.0.1:7601]
+//	             [-topics watcher.samples,orchestrator.decisions,model.generations,cluster.view]
+//	             [-n max]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,11 +25,48 @@ import (
 	"sync"
 
 	"adrias/internal/bus"
+	"adrias/internal/cluster"
 )
+
+// viewRenderer formats cluster.view payloads with per-node deltas against
+// the last view it saw. Not safe for concurrent use; the caller serializes.
+type viewRenderer struct {
+	prev map[int]cluster.NodeOccupancy
+}
+
+func (r *viewRenderer) render(payload []byte) (string, bool) {
+	var v cluster.View
+	if err := json.Unmarshal(payload, &v); err != nil || len(v.Nodes) == 0 {
+		return "", false
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "v=%d t=%.0fs", v.Version, v.Time)
+	for _, o := range v.Nodes {
+		fmt.Fprintf(&sb, " | node%d run=%d", o.Node, o.Running)
+		if p, ok := r.prev[o.Node]; ok && o.Running != p.Running {
+			fmt.Fprintf(&sb, "(%+d)", o.Running-p.Running)
+		}
+		fmt.Fprintf(&sb, " remote=%.1fGB", o.RemoteFreeGB)
+		if p, ok := r.prev[o.Node]; ok && o.RemoteFreeGB != p.RemoteFreeGB {
+			fmt.Fprintf(&sb, "(%+.1f)", o.RemoteFreeGB-p.RemoteFreeGB)
+		}
+		fmt.Fprintf(&sb, " fab=%.0f%%", o.FabricUtil*100)
+		if o.FabricDegraded {
+			sb.WriteString(" DEGRADED")
+		}
+	}
+	if r.prev == nil {
+		r.prev = make(map[int]cluster.NodeOccupancy, len(v.Nodes))
+	}
+	for _, o := range v.Nodes {
+		r.prev[o.Node] = o
+	}
+	return sb.String(), true
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7601", "adriasd bus address")
-	topics := flag.String("topics", "watcher.samples,orchestrator.decisions,model.generations", "comma-separated topics")
+	topics := flag.String("topics", "watcher.samples,orchestrator.decisions,model.generations,cluster.view", "comma-separated topics")
 	max := flag.Int("n", 0, "exit after this many messages (0 = run until the bus closes)")
 	flag.Parse()
 
@@ -31,6 +78,7 @@ func main() {
 	defer cli.Close()
 
 	var mu sync.Mutex
+	views := &viewRenderer{}
 	count := 0
 	done := make(chan struct{})
 	var wg sync.WaitGroup
@@ -43,11 +91,17 @@ func main() {
 		}
 		fmt.Printf("subscribed to %s\n", topic)
 		wg.Add(1)
-		go func() {
+		go func(topic string) {
 			defer wg.Done()
 			for m := range ch {
 				mu.Lock()
-				fmt.Printf("[%s] %s\n", m.Topic, string(m.Payload))
+				line := string(m.Payload)
+				if topic == "cluster.view" {
+					if rendered, ok := views.render(m.Payload); ok {
+						line = rendered
+					}
+				}
+				fmt.Printf("[%s] %s\n", m.Topic, line)
 				count++
 				if *max > 0 && count >= *max {
 					mu.Unlock()
@@ -60,7 +114,7 @@ func main() {
 				}
 				mu.Unlock()
 			}
-		}()
+		}(topic)
 	}
 	go func() {
 		wg.Wait()

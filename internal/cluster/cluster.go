@@ -32,6 +32,10 @@ type Config struct {
 	// KeepHistory controls whether per-tick samples are retained (on by
 	// default through DefaultConfig); long head-less runs can disable it.
 	KeepHistory bool
+	// IDBase offsets instance IDs so every node in a rack hands out a
+	// disjoint range (node i uses base i<<32) — the learner's outcome join
+	// keys on instance ID and must stay unambiguous across nodes.
+	IDBase int
 }
 
 // DefaultConfig returns the paper-calibrated testbed configuration.
@@ -79,6 +83,7 @@ func New(cfg Config) *Cluster {
 		node:   memsys.NewNode(cfg.Node, cfg.Fabric),
 		engine: sim.NewEngine(cfg.TickPeriod),
 		rng:    randutil.New(cfg.Seed),
+		nextID: cfg.IDBase,
 	}
 	c.engine.OnTick(c.tick)
 	return c

@@ -1,0 +1,98 @@
+package cluster
+
+import "adrias/internal/memsys"
+
+// NodeOccupancy is one node's slice of the rack-wide ClusterView: how busy
+// the node is, how much headroom each of its memory pools has, and the
+// state of its ThymesisFlow link. It is a value snapshot — readers never
+// touch the node's live counters, so a placement tier deciding against it
+// cannot race with commits mutating the node.
+type NodeOccupancy struct {
+	Node           int     `json:"node"`
+	Running        int     `json:"running"`
+	LocalFreeGB    float64 `json:"local_free_gb"`
+	RemoteFreeGB   float64 `json:"remote_free_gb"`
+	FabricUtil     float64 `json:"fabric_util"`
+	FabricDegraded bool    `json:"fabric_degraded,omitempty"`
+}
+
+// View is a versioned occupancy snapshot of every node in a rack. The
+// version advances on every state change the publisher commits (deploys,
+// ticks), so an optimistic decider can detect at commit time that the
+// state it decided against has moved — the shared-state scheduling
+// protocol of DESIGN.md §14. Published on bus topic "cluster.view".
+type View struct {
+	Version uint64          `json:"version"`
+	Time    float64         `json:"time"`
+	Nodes   []NodeOccupancy `json:"nodes"`
+}
+
+// Occupancy snapshots this cluster's occupancy as rack node `node`.
+func (c *Cluster) Occupancy(node int) NodeOccupancy {
+	fab := c.node.Fabric()
+	return NodeOccupancy{
+		Node:           node,
+		Running:        len(c.running),
+		LocalFreeGB:    c.CapacityLeftGB(memsys.TierLocal),
+		RemoteFreeGB:   c.CapacityLeftGB(memsys.TierRemote),
+		FabricUtil:     fab.Last().Utilization,
+		FabricDegraded: fab.Degraded(),
+	}
+}
+
+// LessLoaded reports whether a is strictly less loaded than b under the
+// rack-wide occupancy order: fewer running instances first, then more
+// remote-pool headroom, then lower fabric utilization, then lower node
+// index. Every scheduler breaking load ties (fleet orchestrator, serve
+// rack) uses this one definition, so their choices agree on the same view.
+func (a NodeOccupancy) LessLoaded(b NodeOccupancy) bool {
+	if a.Running != b.Running {
+		return a.Running < b.Running
+	}
+	if a.RemoteFreeGB != b.RemoteFreeGB {
+		return a.RemoteFreeGB > b.RemoteFreeGB
+	}
+	if a.FabricUtil != b.FabricUtil {
+		return a.FabricUtil < b.FabricUtil
+	}
+	return a.Node < b.Node
+}
+
+// MoreRemoteHeadroom orders candidate remote pools for a placement: the
+// pool with more free remote memory wins, falling back to the general
+// LessLoaded order — the paper's iso-QoS least-loaded tie-break
+// generalized to per-pool headroom.
+func (a NodeOccupancy) MoreRemoteHeadroom(b NodeOccupancy) bool {
+	if a.RemoteFreeGB != b.RemoteFreeGB {
+		return a.RemoteFreeGB > b.RemoteFreeGB
+	}
+	return a.LessLoaded(b)
+}
+
+// BestRemotePool returns the index into v.Nodes of the healthiest remote
+// pool that can hold footprintGB — most headroom first, degraded fabrics
+// excluded — or -1 when no pool fits.
+func (v View) BestRemotePool(footprintGB float64) int {
+	best := -1
+	for i, n := range v.Nodes {
+		if n.FabricDegraded || n.RemoteFreeGB < footprintGB {
+			continue
+		}
+		if best < 0 || n.MoreRemoteHeadroom(v.Nodes[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// LeastLoadedNode returns the index into v.Nodes of the least-loaded node,
+// or -1 on an empty view.
+func (v View) LeastLoadedNode() int {
+	best := -1
+	for i, n := range v.Nodes {
+		if best < 0 || n.LessLoaded(v.Nodes[best]) {
+			best = i
+		}
+	}
+	return best
+}

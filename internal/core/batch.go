@@ -138,11 +138,28 @@ func (o *Orchestrator) DecideBatch(ctx context.Context, profiles []*workload.Pro
 // path that predicts into arenas (QuantPredictor) — a decide allocates
 // nothing. Like DecideBatch it must not run concurrently with itself.
 func (o *Orchestrator) DecideBatchInto(ctx context.Context, profiles []*workload.Profile, c *cluster.Cluster, ds []Decision) {
+	fabricDown := o.FabricDegraded != nil && o.FabricDegraded()
+	o.DecideBatchWindow(ctx, profiles, o.Watch.WindowInto(c),
+		c.CapacityLeftGB(memsys.TierRemote), fabricDown, 0, ds)
+}
+
+// DecideBatchWindow is DecideBatchInto against an explicit view of the
+// target node: a pre-computed history window, the remote pool's free
+// capacity, and the fabric health, instead of a live *cluster.Cluster. The
+// sharded placement tier calls it so N replicas can decide concurrently
+// against immutable ClusterView snapshots without touching any node's live
+// state; every Decision carries node so the commit sequencer knows which
+// pool the claim targets. Capacity semantics match DecideBatchInto: each
+// profile is checked against the same remoteFreeGB (no deploys happen
+// mid-batch), so a batch whose combined footprint overflows the pool relies
+// on commit-time conflict detection, exactly as racing single decisions
+// would. Must not run concurrently with itself (per-orchestrator scratch).
+func (o *Orchestrator) DecideBatchWindow(ctx context.Context, profiles []*workload.Profile,
+	window []mathx.Vector, remoteFreeGB float64, fabricDown bool, node int, ds []Decision) {
 	n := len(profiles)
 	if len(ds) != n {
 		panic("core: DecideBatchInto output length mismatch")
 	}
-	window := o.Watch.WindowInto(c)
 
 	// Assemble the prediction queries for warm apps with enough history:
 	// BE asks local+remote, LC asks remote only.
@@ -153,7 +170,7 @@ func (o *Orchestrator) DecideBatchInto(ctx context.Context, profiles []*workload
 	queries := o.batQueries[:0]
 	qStart := o.batStart[:n] // index of profile i's first query, -1 when none
 	for i, p := range profiles {
-		ds[i] = Decision{App: p.Name, Class: p.Class}
+		ds[i] = Decision{App: p.Name, Class: p.Class, Node: node}
 		qStart[i] = -1
 		if !o.Pred.Sigs.Has(p.Name) {
 			ds[i].ColdStart = true
@@ -178,9 +195,6 @@ func (o *Orchestrator) DecideBatchInto(ctx context.Context, profiles []*workload
 	if len(queries) > 0 {
 		preds, errs = o.inference().PredictPerfBatch(ctx, queries, window)
 	}
-
-	// One link-state read per batch: the fabric does not change mid-decide.
-	fabricDown := o.FabricDegraded != nil && o.FabricDegraded()
 
 	endDecide := obs.StartSpan(ctx, "decide")
 	for i, p := range profiles {
@@ -254,7 +268,7 @@ func (o *Orchestrator) DecideBatchInto(ctx context.Context, profiles []*workload
 		// A remote verdict against a full pool degrades to local (the
 		// cluster would redirect anyway; deciding here keeps the
 		// bookkeeping honest).
-		if d.Tier == memsys.TierRemote && !c.CanFit(p, memsys.TierRemote) {
+		if d.Tier == memsys.TierRemote && p.FootprintGB > remoteFreeGB {
 			d.Tier = memsys.TierLocal
 			d.Fallback = true
 			d.Reason = ReasonCapacity

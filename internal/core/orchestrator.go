@@ -37,6 +37,11 @@ const (
 	// bandwidth clamp, latency inflation), so a remote verdict degraded to
 	// the safe local tier.
 	ReasonFabricDegraded = "fabric-degraded"
+	// ReasonCommitConflict: an optimistic remote claim lost the commit race
+	// — another replica consumed the headroom it decided against — and the
+	// bounded retries found no pool either, so the placement downgraded to
+	// the safe local tier.
+	ReasonCommitConflict = "commit-conflict"
 )
 
 // ErrBreakerOpen marks per-query prediction errors produced while the
@@ -59,6 +64,7 @@ type Decision struct {
 	App       string
 	Class     workload.Class
 	Tier      memsys.Tier
+	Node      int     // rack node the placement targets (0 in single-node runs)
 	PredLocal float64 // predicted perf on local (0 when not predicted)
 	PredRem   float64 // predicted perf on remote
 	ColdStart bool    // true when the app had no signature yet

@@ -42,6 +42,10 @@ type Fleet struct {
 	now   float64
 	tick  float64
 
+	// version counts rack-state changes (deploys, lockstep ticks); View
+	// stamps it on every snapshot so optimistic readers can detect staleness.
+	version uint64
+
 	// pending holds deployments scheduled into the future.
 	pending []arrival
 }
@@ -65,9 +69,25 @@ func New(n int, cfg cluster.Config) *Fleet {
 	for i := 0; i < n; i++ {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)*1000
+		c.IDBase = cfg.IDBase + i<<32 // disjoint instance-ID range per node
 		f.Nodes = append(f.Nodes, cluster.New(c))
 	}
 	return f
+}
+
+// View snapshots every node's occupancy into a versioned rack-state view.
+// Schedulers decide against the snapshot, never against live node counters,
+// so a tie-break cannot observe a node mid-commit.
+func (f *Fleet) View() cluster.View {
+	v := cluster.View{
+		Version: f.version,
+		Time:    f.now,
+		Nodes:   make([]cluster.NodeOccupancy, len(f.Nodes)),
+	}
+	for i, c := range f.Nodes {
+		v.Nodes[i] = c.Occupancy(i)
+	}
+	return v
 }
 
 // Now returns fleet time.
@@ -75,6 +95,7 @@ func (f *Fleet) Now() float64 { return f.now }
 
 // Deploy places p immediately on the given node and tier.
 func (f *Fleet) Deploy(p *workload.Profile, pl Placement) *workload.Instance {
+	f.version++
 	return f.Nodes[pl.Node].Deploy(p, pl.Tier)
 }
 
@@ -109,7 +130,7 @@ func (f *Fleet) Run(until float64) {
 			a := &f.pending[i]
 			if a.p != nil && a.at <= next {
 				pl := a.decide()
-				in := f.Nodes[pl.Node].Deploy(a.p, pl.Tier)
+				in := f.Deploy(a.p, pl)
 				if a.done != nil {
 					a.done(in, pl.Node)
 				}
@@ -120,6 +141,7 @@ func (f *Fleet) Run(until float64) {
 			c.Run(next)
 		}
 		f.now = next
+		f.version++ // a lockstep advance changes every node's occupancy
 	}
 	// Compact fired arrivals.
 	live := f.pending[:0]
@@ -189,15 +211,13 @@ type LeastLoaded struct{}
 // Name implements Scheduler.
 func (LeastLoaded) Name() string { return "fleet-least-loaded" }
 
-// Decide implements Scheduler.
+// Decide implements Scheduler. The winner comes from the same versioned
+// occupancy snapshot every other scheduler reads (cluster.View), not from
+// direct node-local counter reads — behind a snapshot those can race with
+// concurrent commits and disagree with the rack state the decision is
+// audited against.
 func (LeastLoaded) Decide(_ *workload.Profile, f *Fleet) Placement {
-	best := 0
-	for i, c := range f.Nodes {
-		if len(c.Running()) < len(f.Nodes[best].Running()) {
-			best = i
-		}
-	}
-	return Placement{Node: best, Tier: memsys.TierLocal}
+	return Placement{Node: f.View().LeastLoadedNode(), Tier: memsys.TierLocal}
 }
 
 // Orchestrator is the cluster-level Adrias: per-node Watcher windows feed
@@ -240,26 +260,24 @@ func NewOrchestrator(pred *core.Predictor, watch *core.Watcher, beta float64) *O
 // Name implements Scheduler.
 func (o *Orchestrator) Name() string { return fmt.Sprintf("fleet-adrias(β=%g)", o.Beta) }
 
-// Decide implements Scheduler.
+// Decide implements Scheduler. Every rule reads one versioned occupancy
+// snapshot (f.View) taken at the top, so the load tie-break and the
+// per-pool capacity checks see the same rack state the decision will be
+// audited against — direct node-counter reads behind a snapshot can race
+// with concurrent commits.
 func (o *Orchestrator) Decide(p *workload.Profile, f *Fleet) Placement {
 	d := FleetDecision{App: p.Name}
+	view := f.View()
 
-	leastLoaded := func() int {
-		best := 0
-		for i, c := range f.Nodes {
-			if len(c.Running()) < len(f.Nodes[best].Running()) {
-				best = i
-			}
-		}
-		return best
-	}
-
-	// Cold start: unknown app → remote on the least-loaded node.
+	// Cold start: unknown app → the healthiest remote pool that fits its
+	// footprint (the least-loaded rule generalized to per-pool headroom);
+	// with no pool available, safe local on the least-loaded node.
 	if !o.Pred.Sigs.Has(p.Name) {
 		d.ColdStart = true
-		d.Placement = Placement{Node: leastLoaded(), Tier: memsys.TierRemote}
-		if !f.Nodes[d.Placement.Node].CanFit(p, memsys.TierRemote) {
-			d.Placement.Tier = memsys.TierLocal
+		if n := view.BestRemotePool(p.FootprintGB); n >= 0 {
+			d.Placement = Placement{Node: n, Tier: memsys.TierRemote}
+		} else {
+			d.Placement = Placement{Node: view.LeastLoadedNode(), Tier: memsys.TierLocal}
 			d.Fallback = true
 		}
 		o.Decisions = append(o.Decisions, d)
@@ -274,7 +292,7 @@ func (o *Orchestrator) Decide(p *workload.Profile, f *Fleet) Placement {
 	type cand struct {
 		pl   Placement
 		perf float64
-		load int
+		occ  cluster.NodeOccupancy
 	}
 	var cands []cand
 	for i, c := range f.Nodes {
@@ -295,29 +313,37 @@ func (o *Orchestrator) Decide(p *workload.Profile, f *Fleet) Placement {
 			qos, ok := o.QoSMs[p.Name]
 			tier = core.DecideLC(qos, ok, remote)
 		}
-		if tier == memsys.TierRemote && !f.Nodes[i].CanFit(p, memsys.TierRemote) {
+		if tier == memsys.TierRemote && p.FootprintGB > view.Nodes[i].RemoteFreeGB {
 			tier = memsys.TierLocal
 		}
 		perf = local
 		if tier == memsys.TierRemote {
 			perf = remote
 		}
-		cands = append(cands, cand{pl: Placement{Node: i, Tier: tier}, perf: perf, load: len(c.Running())})
+		cands = append(cands, cand{pl: Placement{Node: i, Tier: tier}, perf: perf, occ: view.Nodes[i]})
 	}
 	if len(cands) == 0 {
 		// No node has monitoring history yet: safe default.
 		d.Fallback = true
-		d.Placement = Placement{Node: leastLoaded(), Tier: memsys.TierLocal}
+		d.Placement = Placement{Node: view.LeastLoadedNode(), Tier: memsys.TierLocal}
 		o.Decisions = append(o.Decisions, d)
 		return d.Placement
 	}
-	// Best predicted outcome; near-ties go to the least-loaded node (§VII).
+	// Best predicted outcome; iso-QoS near-ties go to the better-placed
+	// candidate (§VII): between two remote placements the pool with more
+	// headroom wins, otherwise the rack-wide least-loaded order decides.
+	betterPlaced := func(a, b cand) bool {
+		if a.pl.Tier == memsys.TierRemote && b.pl.Tier == memsys.TierRemote {
+			return a.occ.MoreRemoteHeadroom(b.occ)
+		}
+		return a.occ.LessLoaded(b.occ)
+	}
 	best := cands[0]
 	for _, c := range cands[1:] {
 		switch {
 		case c.perf < best.perf*(1-o.TieFrac):
 			best = c
-		case c.perf <= best.perf*(1+o.TieFrac) && c.load < best.load:
+		case c.perf <= best.perf*(1+o.TieFrac) && betterPlaced(c, best):
 			best = c
 		}
 	}

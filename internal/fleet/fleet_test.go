@@ -282,6 +282,63 @@ func TestFleetOrchestratorColdStart(t *testing.T) {
 	}
 }
 
+func TestFleetViewVersionedSnapshot(t *testing.T) {
+	f := New(2, cluster.DefaultConfig())
+	v0 := f.View()
+	if len(v0.Nodes) != 2 {
+		t.Fatalf("view has %d nodes, want 2", len(v0.Nodes))
+	}
+	f.Deploy(registry.ByName("redis"), Placement{Node: 0, Tier: memsys.TierRemote})
+	v1 := f.View()
+	if v1.Version <= v0.Version {
+		t.Errorf("deploy did not bump version: %d -> %d", v0.Version, v1.Version)
+	}
+	if v1.Nodes[0].Running != 1 || v1.Nodes[1].Running != 0 {
+		t.Errorf("running = %d/%d, want 1/0", v1.Nodes[0].Running, v1.Nodes[1].Running)
+	}
+	if v1.Nodes[0].RemoteFreeGB >= v0.Nodes[0].RemoteFreeGB {
+		t.Errorf("remote deploy did not shrink node 0 headroom: %g -> %g",
+			v0.Nodes[0].RemoteFreeGB, v1.Nodes[0].RemoteFreeGB)
+	}
+	f.Run(5)
+	if v2 := f.View(); v2.Version <= v1.Version || v2.Time != 5 {
+		t.Errorf("tick did not advance view: %+v after %+v", v2, v1)
+	}
+	// The snapshot is a value: fleet progress must not mutate it in place.
+	if v1.Nodes[0].Running != 1 || v1.Time != 0 {
+		t.Errorf("snapshot mutated by later fleet activity: %+v", v1)
+	}
+}
+
+func TestLeastLoadedTieBreakUsesSnapshotOccupancy(t *testing.T) {
+	// Regression for the tie-break fix: with equal instance counts the
+	// winner must come from the ClusterView occupancy order (more remote
+	// headroom first), not the old direct node-counter scan, which ignored
+	// pool usage and always kept the lowest index on a tie.
+	f := New(2, cluster.DefaultConfig())
+	f.Deploy(registry.ByName("redis"), Placement{Node: 0, Tier: memsys.TierRemote})
+	f.Deploy(registry.ByName("redis"), Placement{Node: 1, Tier: memsys.TierLocal})
+	pl := (LeastLoaded{}).Decide(registry.ByName("sort"), f)
+	if pl.Node != 1 {
+		t.Errorf("tie should break to node 1 (more remote headroom), got %+v", pl)
+	}
+}
+
+func TestFleetColdStartPicksPoolWithHeadroom(t *testing.T) {
+	// Cold starts choose *which* remote pool: equal load, but node 0's pool
+	// is drained further, so the placement must land on node 1's pool.
+	watch := core.NewWatcher(models.PerfDatasetSpec{HistTicks: 60, FutureTicks: 60, Stride: 10})
+	pred := &core.Predictor{Sigs: models.NewSignatureStore(6)}
+	o := NewOrchestrator(pred, watch, 0.8)
+	f := New(2, cluster.DefaultConfig())
+	f.Deploy(registry.ByName("redis"), Placement{Node: 0, Tier: memsys.TierRemote})
+	f.Deploy(registry.ByName("redis"), Placement{Node: 1, Tier: memsys.TierLocal})
+	pl := o.Decide(registry.ByName("sort"), f)
+	if pl.Tier != memsys.TierRemote || pl.Node != 1 {
+		t.Errorf("cold start should pick node 1's remote pool, got %+v", pl)
+	}
+}
+
 func TestFleetOrchestratorBadBetaPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"adrias/internal/cluster"
 	"adrias/internal/mathx"
@@ -32,8 +33,13 @@ type Signature struct {
 	Steps []mathx.Vector // fixed-length sequence of metric vectors
 }
 
-// SignatureStore maps application names to captured signatures.
+// SignatureStore maps application names to captured signatures. It is safe
+// for concurrent use: the sharded placement tier's replicas read signatures
+// while in-situ captures on the commit path write new ones. Put always
+// replaces whole entries (never mutates Steps in place), so a reader holding
+// a previously fetched Signature keeps a consistent trace.
 type SignatureStore struct {
+	mu   sync.RWMutex
 	sigs map[string]Signature
 	// SeqLen is the fixed number of steps every signature is resampled to.
 	SeqLen int
@@ -49,13 +55,17 @@ func NewSignatureStore(seqLen int) *SignatureStore {
 
 // Has reports whether a signature for name exists.
 func (s *SignatureStore) Has(name string) bool {
+	s.mu.RLock()
 	_, ok := s.sigs[name]
+	s.mu.RUnlock()
 	return ok
 }
 
 // Get returns the signature for name.
 func (s *SignatureStore) Get(name string) (Signature, bool) {
+	s.mu.RLock()
 	sig, ok := s.sigs[name]
+	s.mu.RUnlock()
 	return sig, ok
 }
 
@@ -64,7 +74,10 @@ func (s *SignatureStore) Put(name string, trace []mathx.Vector) error {
 	if len(trace) == 0 {
 		return fmt.Errorf("models: empty trace for signature %q", name)
 	}
-	s.sigs[name] = Signature{Name: name, Steps: ResampleSeq(trace, s.SeqLen)}
+	sig := Signature{Name: name, Steps: ResampleSeq(trace, s.SeqLen)}
+	s.mu.Lock()
+	s.sigs[name] = sig
+	s.mu.Unlock()
 	return nil
 }
 
@@ -73,6 +86,8 @@ func (s *SignatureStore) Put(name string, trace []mathx.Vector) error {
 // candidate model's signature reads never race with in-situ captures on the
 // serving path.
 func (s *SignatureStore) Clone() *SignatureStore {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := NewSignatureStore(s.SeqLen)
 	for name, sig := range s.sigs {
 		steps := make([]mathx.Vector, len(sig.Steps))
@@ -86,10 +101,12 @@ func (s *SignatureStore) Clone() *SignatureStore {
 
 // Names returns the stored application names, sorted.
 func (s *SignatureStore) Names() []string {
+	s.mu.RLock()
 	out := make([]string, 0, len(s.sigs))
 	for n := range s.sigs {
 		out = append(out, n)
 	}
+	s.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -102,6 +119,8 @@ type sigBlob struct {
 
 // Save writes the store in gob format.
 func (s *SignatureStore) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	blob := sigBlob{SeqLen: s.SeqLen, Sigs: make(map[string][][]float64, len(s.sigs))}
 	for name, sig := range s.sigs {
 		rows := make([][]float64, len(sig.Steps))
@@ -122,6 +141,8 @@ func (s *SignatureStore) Load(r io.Reader) error {
 	if blob.SeqLen <= 0 {
 		return fmt.Errorf("models: invalid signature SeqLen %d", blob.SeqLen)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.SeqLen = blob.SeqLen
 	s.sigs = make(map[string]Signature, len(blob.Sigs))
 	for name, rows := range blob.Sigs {

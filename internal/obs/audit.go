@@ -16,6 +16,7 @@ type DecisionRecord struct {
 	App         string    `json:"app"`
 	Class       string    `json:"class"`
 	Tier        string    `json:"tier"`
+	Node        int       `json:"node,omitempty"`
 	PredLocalS  float64   `json:"pred_local_s,omitempty"`
 	PredRemoteS float64   `json:"pred_remote_s,omitempty"`
 	Beta        float64   `json:"beta,omitempty"`

@@ -40,6 +40,12 @@ type EngineConfig struct {
 	IBenchShare float64
 	// Seed drives the testbed and the ambient arrival stream (default 1).
 	Seed int64
+	// Nodes is the rack size: each node carries its own testbed cluster and
+	// ThymesisFlow fabric, and placements choose which node's remote pool to
+	// claim (default 1, the paper's single-borrower prototype). Node i seeds
+	// from Seed+i*1000 and hands out instance IDs from base i<<32, so
+	// single-node runs are bit-identical to the pre-rack engine.
+	Nodes int
 	// NegSigTTL bounds staleness of cached signature misses.
 	NegSigTTL time.Duration
 	// Cluster overrides the testbed configuration (nil: paper defaults).
@@ -95,6 +101,9 @@ func (c EngineConfig) withDefaults(histTicks int) EngineConfig {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
 	return c
 }
 
@@ -121,6 +130,24 @@ type SystemEngine struct {
 	// EngineConfig.Learn is set.
 	base    *core.SwappableInference
 	learner *learn.Loop
+
+	// nodes is the rack (nodes[0] == cl, the legacy single-node alias). All
+	// live node state is guarded by mu — the commit sequencer; replica
+	// shards read the atomic view instead of taking the lock.
+	nodes []*cluster.Cluster
+	// view is the published rack-state snapshot (rack.go); viewVer counts
+	// committed state changes (deploys, ticks) under mu, so an optimistic
+	// claim decided against version v conflicts iff the version moved.
+	view    atomic.Pointer[rackView]
+	viewVer uint64
+	// retry is the bounded drop-oldest ring of commit-conflict losers.
+	retry retryRing
+	// Optimistic-commit telemetry, exported on /metrics.
+	conflicts      atomic.Uint64 // remote claims that lost the commit race
+	commitRetries  atomic.Uint64 // conflict losers re-decided from the ring
+	downgrades     atomic.Uint64 // losers downgraded to the safe local tier
+	retryDrops     atomic.Uint64 // losers evicted from the full retry ring
+	shardDecisions atomic.Uint64 // decisions made by replica shards
 
 	// PlaceBatchInto scratch, reused across batches under mu.
 	batProfiles []*workload.Profile
@@ -158,13 +185,21 @@ func NewSystemEngine(pred *core.Predictor, watch *core.Watcher, reg *workload.Re
 		ccfg = *cfg.Cluster
 	}
 	ccfg.KeepHistory = true
-	ccfg.Seed = cfg.Seed
+
+	nodes := make([]*cluster.Cluster, cfg.Nodes)
+	for i := range nodes {
+		ncfg := ccfg
+		ncfg.Seed = cfg.Seed + int64(i)*1000 // node 0 keeps cfg.Seed exactly
+		ncfg.IDBase = i << 32                // disjoint instance-ID range per node
+		nodes[i] = cluster.New(ncfg)
+	}
 
 	e := &SystemEngine{
 		orch:  core.NewOrchestrator(pred, watch, cfg.Beta),
 		watch: watch,
 		reg:   reg,
-		cl:    cluster.New(ccfg),
+		cl:    nodes[0],
+		nodes: nodes,
 		sigs:  NewSignatureCache(pred.Sigs, cfg.NegSigTTL),
 		rng:   randutil.New(cfg.Seed).Split(0x5e7),
 		cfg:   cfg,
@@ -177,9 +212,12 @@ func NewSystemEngine(pred *core.Predictor, watch *core.Watcher, reg *workload.Re
 	// In-situ signature capture for cold-started apps, write-through the
 	// cache so HTTP-layer readers see it immediately; when the learning
 	// loop is on, completions it expects are joined back to their decisions.
-	e.cl.OnComplete = func(in *workload.Instance) {
-		e.captureSignature(in)
-		e.captureOutcome(in)
+	for _, c := range nodes {
+		c := c
+		c.OnComplete = func(in *workload.Instance) {
+			e.captureSignature(c, in)
+			e.captureOutcome(c, in)
+		}
 	}
 	// Degradation stack over the prediction path: the swappable slot at the
 	// bottom (the learning loop's hot-swap point), fault injection closest
@@ -214,22 +252,30 @@ func NewSystemEngine(pred *core.Predictor, watch *core.Watcher, reg *workload.Re
 			OnSwap:    e.recordSwap,
 		})
 	}
-	fab := e.cl.Node().Fabric()
-	e.orch.FabricDegraded = fab.Degraded
+	e.orch.FabricDegraded = e.cl.Node().Fabric().Degraded
 	if cfg.Faults != nil {
 		// Impose the scheduled fabric state after every tick resolution (it
 		// binds from the next tick — fault windows span many ticks). The
-		// hook runs inside cl.Run under the engine lock.
-		e.cl.OnTick = func(now float64, _ memsys.Sample) {
-			e.setSimNow(now)
-			fab.SetDegradation(cfg.Faults.FabricDegradation())
+		// hooks run inside each node's Run under the engine lock; the whole
+		// rack shares one fault schedule, as one impaired spine would.
+		for _, c := range nodes {
+			fab := c.Node().Fabric()
+			primary := c == e.cl
+			c.OnTick = func(now float64, _ memsys.Sample) {
+				if primary {
+					e.setSimNow(now)
+				}
+				fab.SetDegradation(cfg.Faults.FabricDegradation())
+			}
 		}
 	}
 
-	// Warm up: some seed load plus enough ticks to fill the window.
+	// Warm up: some seed load plus enough ticks to fill every window.
 	spark := reg.Spark()
-	e.cl.Deploy(spark[e.rng.Intn(len(spark))], memsys.TierLocal)
-	e.cl.Run(float64(cfg.WarmupTicks))
+	for _, c := range nodes {
+		c.Deploy(spark[e.rng.Intn(len(spark))], memsys.TierLocal)
+		c.Run(float64(cfg.WarmupTicks))
+	}
 	e.ambientClock = e.cl.Now()
 	e.serveStart = e.cl.Now()
 	e.setSimNow(e.cl.Now())
@@ -239,19 +285,21 @@ func NewSystemEngine(pred *core.Predictor, watch *core.Watcher, reg *workload.Re
 		cfg.Faults.SetClock(e.SimNow)
 		cfg.Faults.Start(e.cl.Now())
 	}
+	e.view.Store(e.buildView())
 	return e
 }
 
 // captureSignature stores an in-situ signature for a cold-started app that
-// just completed a remote run. Runs inside cl.Run under the engine lock.
-func (e *SystemEngine) captureSignature(in *workload.Instance) {
+// just completed a remote run on node c. Runs inside that node's Run under
+// the engine lock.
+func (e *SystemEngine) captureSignature(c *cluster.Cluster, in *workload.Instance) {
 	if in.Tier != memsys.TierRemote || in.Profile.Class == workload.Interference {
 		return
 	}
 	if e.sigs.Has(in.Profile.Name) {
 		return
 	}
-	trace := e.watch.TraceBetween(e.cl, in.StartAt, in.DoneAt)
+	trace := e.watch.TraceBetween(c, in.StartAt, in.DoneAt)
 	if len(trace) == 0 {
 		return
 	}
@@ -262,12 +310,12 @@ func (e *SystemEngine) captureSignature(in *workload.Instance) {
 // decision in the learning loop: realized performance (execution time for
 // BE, p99 latency for LC) plus the realized future-state means. The cheap
 // Expects guard keeps ambient completions from paying the history scans.
-// Runs inside cl.Run under the engine lock.
-func (e *SystemEngine) captureOutcome(in *workload.Instance) {
+// Runs inside the node's Run under the engine lock.
+func (e *SystemEngine) captureOutcome(c *cluster.Cluster, in *workload.Instance) {
 	if e.learner == nil || !e.learner.Expects(in.ID) {
 		return
 	}
-	now := e.cl.Now()
+	now := c.Now()
 	realized := in.ExecTime(now)
 	if in.Profile.Class == workload.LatencyCritical {
 		realized = in.TailLatency(99)
@@ -276,10 +324,10 @@ func (e *SystemEngine) captureOutcome(in *workload.Instance) {
 	if in.DoneAt < futEnd {
 		futEnd = in.DoneAt
 	}
-	fut120 := learn.MeanRows(e.watch.TraceBetween(e.cl, in.StartAt, futEnd))
+	fut120 := learn.MeanRows(e.watch.TraceBetween(c, in.StartAt, futEnd))
 	futExec := fut120
 	if in.DoneAt > futEnd {
-		futExec = learn.MeanRows(e.watch.TraceBetween(e.cl, in.StartAt, in.DoneAt))
+		futExec = learn.MeanRows(e.watch.TraceBetween(c, in.StartAt, in.DoneAt))
 	}
 	e.learner.Complete(in.ID, realized, fut120, futExec, now)
 }
@@ -334,6 +382,7 @@ type decisionEvent struct {
 	App       string  `json:"app"`
 	Class     string  `json:"class"`
 	Tier      string  `json:"tier"`
+	Node      int     `json:"node,omitempty"`
 	PredLocal float64 `json:"pred_local,omitempty"`
 	PredRem   float64 `json:"pred_remote,omitempty"`
 	ColdStart bool    `json:"cold_start,omitempty"`
@@ -403,15 +452,18 @@ func (e *SystemEngine) PlaceBatchInto(ctx context.Context, reqs []PlaceRequest, 
 		modelGen = e.learner.Generation()
 	}
 	place := e.batPlace[:0]
+	deployed := false
 	for k, i := range idx {
 		d := ds[k]
 		results[i].Tier = d.Tier
+		results[i].Node = d.Node
 		results[i].PredLocalS = d.PredLocal
 		results[i].PredRemS = d.PredRem
 		results[i].ColdStart = d.ColdStart
 		results[i].Fallback = d.Fallback
 		results[i].Reason = d.Reason
 		if !reqs[i].DryRun {
+			deployed = true
 			in := e.cl.Deploy(profiles[k], d.Tier)
 			if e.learner != nil && in != nil && in.Profile.Class != workload.Interference {
 				// Note in.Tier, not d.Tier: Deploy may fall back on capacity.
@@ -434,6 +486,7 @@ func (e *SystemEngine) PlaceBatchInto(ctx context.Context, reqs []PlaceRequest, 
 				App:         d.App,
 				Class:       d.Class.String(),
 				Tier:        d.Tier.String(),
+				Node:        d.Node,
 				PredLocalS:  d.PredLocal,
 				PredRemoteS: d.PredRem,
 				Beta:        e.orch.Beta,
@@ -448,12 +501,19 @@ func (e *SystemEngine) PlaceBatchInto(ctx context.Context, reqs []PlaceRequest, 
 		if e.cfg.Bus != nil {
 			_, _ = e.cfg.Bus.Publish("orchestrator.decisions", decisionEvent{
 				TraceID: reqs[i].TraceID, App: d.App, Class: d.Class.String(),
-				Tier: d.Tier.String(), PredLocal: d.PredLocal, PredRem: d.PredRem,
-				ColdStart: d.ColdStart, Reason: d.Reason,
+				Tier: d.Tier.String(), Node: d.Node, PredLocal: d.PredLocal,
+				PredRem: d.PredRem, ColdStart: d.ColdStart, Reason: d.Reason,
 			})
 		}
 	}
 	e.batPlace = place
+	if deployed {
+		// The deploys changed node 0's occupancy: bump the view version and
+		// republish so concurrent shards see the claim they must not double-
+		// spend. Dry-run batches skip this — the hot path stays 0 allocs/op.
+		e.viewVer++
+		e.republishOccupancy()
+	}
 	if e.learner != nil && len(place) > 0 {
 		// The window the decisions saw (watcher scratch; the loop clones it
 		// once per batch). The shadow candidate, when active, predicts the
@@ -487,6 +547,13 @@ func (e *SystemEngine) Advance(simSec float64) {
 			continue
 		}
 		p := e.pickAmbient()
+		// Ambient load spreads over the rack; the single-node branch skips
+		// the node draw so Nodes=1 keeps the pre-rack arrival stream
+		// bit-identical.
+		c := e.cl
+		if len(e.nodes) > 1 {
+			c = e.nodes[e.rng.Intn(len(e.nodes))]
+		}
 		tier := memsys.TierLocal
 		if e.rng.Bernoulli(0.5) {
 			tier = memsys.TierRemote
@@ -498,15 +565,26 @@ func (e *SystemEngine) Advance(simSec float64) {
 		if at < now {
 			at = now
 		}
-		e.cl.DeployAt(at, p, func() memsys.Tier { return tier }, nil)
+		c.DeployAt(at, p, func() memsys.Tier { return tier }, nil)
 		e.ambientStarted++
 	}
-	e.cl.Run(target)
+	for _, c := range e.nodes {
+		c.Run(target)
+	}
 	e.setSimNow(e.cl.Now())
+	// A tick moved every node: bump the version and publish a fresh view
+	// with this tick's monitoring windows (the per-Advance rebuild is the
+	// only place windows are reallocated — 1 Hz, off the request path).
+	e.viewVer++
+	v := e.buildView()
+	e.view.Store(v)
 	if e.cfg.Bus != nil {
 		s := e.cl.LastSample()
 		_, _ = e.cfg.Bus.Publish("watcher.samples", sampleEvent{
 			Time: e.cl.Now(), Metrics: s.Vector(), Running: len(e.cl.Running()),
+		})
+		_, _ = e.cfg.Bus.Publish("cluster.view", cluster.View{
+			Version: v.ver, Time: v.time, Nodes: v.occ,
 		})
 	}
 	if e.learner != nil {
@@ -567,22 +645,33 @@ type EngineStats struct {
 	// closed or the fabric is impaired. /healthz reports it alongside
 	// Ready — degraded still answers requests, on fallback rules.
 	Degraded bool
+	// Nodes is the rack size; ViewVersion the published rack-state version.
+	// Running/Completed and the pool capacities aggregate over all nodes.
+	Nodes       int
+	ViewVersion uint64
 }
 
-// Snapshot returns current testbed and orchestrator state.
+// Snapshot returns current testbed and orchestrator state, aggregated over
+// the rack.
 func (e *SystemEngine) Snapshot() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	s := EngineStats{
 		SimTime:        e.cl.Now(),
-		Running:        len(e.cl.Running()),
-		Completed:      len(e.cl.Completed()),
-		Decisions:      int(e.orch.TotalDecisions()),
+		Decisions:      int(e.orch.TotalDecisions() + e.shardDecisions.Load()),
 		AmbientStarted: e.ambientStarted,
-		LocalFreeGB:    e.cl.CapacityLeftGB(memsys.TierLocal),
-		RemoteFreeGB:   e.cl.CapacityLeftGB(memsys.TierRemote),
 		Ready:          e.watch.Ready(e.cl),
-		FabricDegraded: e.cl.Node().Fabric().Degraded(),
+		Nodes:          len(e.nodes),
+		ViewVersion:    e.viewVer,
+	}
+	for _, c := range e.nodes {
+		s.Running += len(c.Running())
+		s.Completed += len(c.Completed())
+		s.LocalFreeGB += c.CapacityLeftGB(memsys.TierLocal)
+		s.RemoteFreeGB += c.CapacityLeftGB(memsys.TierRemote)
+		if c.Node().Fabric().Degraded() {
+			s.FabricDegraded = true
+		}
 	}
 	if e.brk != nil {
 		st := e.brk.State()
@@ -615,6 +704,27 @@ func (e *SystemEngine) RegisterMetrics(m *Metrics) {
 			degraded = 1
 		}
 		obs.WriteGauge(w, "adrias_serve_degraded", "1 while serving in degraded mode (breaker open/half-open or fabric impaired).", degraded)
+		obs.WriteGauge(w, "adrias_serve_cluster_nodes", "Nodes in the simulated rack.", float64(s.Nodes))
+		obs.WriteGauge(w, "adrias_serve_cluster_view_version", "Version of the published rack-state view.", float64(s.ViewVersion))
+		obs.WriteCounter(w, "adrias_serve_commit_conflicts_total", "Optimistic remote claims that lost the commit race.", e.conflicts.Load())
+		obs.WriteCounter(w, "adrias_serve_commit_retries_total", "Conflict losers re-decided against a refreshed view.", e.commitRetries.Load())
+		obs.WriteCounter(w, "adrias_serve_commit_downgrades_total", "Conflict losers downgraded to the safe local tier (reason commit-conflict).", e.downgrades.Load())
+		obs.WriteCounter(w, "adrias_serve_retry_dropped_total", "Conflict losers evicted from the full retry ring.", e.retryDrops.Load())
+		obs.WriteCounter(w, "adrias_serve_shard_decisions_total", "Placement decisions made by replica shards.", e.shardDecisions.Load())
+		if v := e.view.Load(); v != nil {
+			writeNodeGauge := func(name, help string, val func(cluster.NodeOccupancy) float64) {
+				fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+				for _, o := range v.occ {
+					fmt.Fprintf(w, "%s{node=\"%d\"} %g\n", name, o.Node, val(o))
+				}
+			}
+			writeNodeGauge("adrias_serve_node_running", "Instances running per rack node.",
+				func(o cluster.NodeOccupancy) float64 { return float64(o.Running) })
+			writeNodeGauge("adrias_serve_node_remote_free_gb", "Free remote-pool memory per rack node.",
+				func(o cluster.NodeOccupancy) float64 { return o.RemoteFreeGB })
+			writeNodeGauge("adrias_serve_node_fabric_util", "ThymesisFlow link utilization per rack node.",
+				func(o cluster.NodeOccupancy) float64 { return o.FabricUtil })
+		}
 		if e.brk != nil {
 			obs.WriteGauge(w, "adrias_serve_breaker_state",
 				"Predictor circuit breaker state: 0 closed, 1 open, 2 half-open.",

@@ -34,6 +34,7 @@ type PlaceHTTPResponse struct {
 	Fallback    bool    `json:"fallback,omitempty"`
 	Reason      string  `json:"reason,omitempty"`
 	BatchSize   int     `json:"batch_size,omitempty"`
+	Node        int     `json:"node,omitempty"`
 	TraceID     string  `json:"trace_id,omitempty"`
 }
 
@@ -154,6 +155,7 @@ func NewHandler(svc *Service, health HealthSource) http.Handler {
 			Fallback:    res.Fallback,
 			Reason:      res.Reason,
 			BatchSize:   res.BatchSize,
+			Node:        res.Node,
 			TraceID:     res.TraceID,
 		}
 		buf.out = appendPlaceResponse(buf.out[:0], &resp)

@@ -283,6 +283,10 @@ func appendPlaceResponse(dst []byte, r *PlaceHTTPResponse) []byte {
 		dst = append(dst, `,"batch_size":`...)
 		dst = strconv.AppendInt(dst, int64(r.BatchSize), 10)
 	}
+	if r.Node != 0 {
+		dst = append(dst, `,"node":`...)
+		dst = strconv.AppendInt(dst, int64(r.Node), 10)
+	}
 	if r.TraceID != "" {
 		dst = append(dst, `,"trace_id":`...)
 		dst = appendJSONString(dst, r.TraceID)

@@ -84,6 +84,10 @@ func TestAppendPlaceResponseGolden(t *testing.T) {
 			Reason: "seps\u2028\u2029", TraceID: "trace\tid"},
 		{App: "zero-batch", Class: "best-effort", Tier: "local",
 			PredLocalS: 0, BatchSize: 0},
+		{App: "sharded", Class: "best-effort", Tier: "remote",
+			BatchSize: 4, Node: 3, TraceID: "t-0042"},
+		{App: "node-zero-omitted", Class: "latency-critical", Tier: "local",
+			Node: 0, Reason: "lc-qos"},
 	}
 	for i, r := range cases {
 		want := stdlibEncode(t, r)

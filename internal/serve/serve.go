@@ -58,6 +58,7 @@ type PlaceResult struct {
 	App        string
 	Class      workload.Class
 	Tier       memsys.Tier
+	Node       int     // rack node the placement targets (0 in single-node runs)
 	PredLocalS float64 // predicted perf on local (0 when not predicted)
 	PredRemS   float64 // predicted perf on remote
 	ColdStart  bool    // the app had no signature; deployed remote + captured
@@ -74,6 +75,17 @@ type PlaceResult struct {
 // deadlines are enforced by the service, not the engine.
 type Engine interface {
 	PlaceBatch(ctx context.Context, reqs []PlaceRequest) []PlaceResult
+}
+
+// ShardedEngine is an Engine that can mint per-replica deciders. Each shard
+// is an Engine safe to run concurrently with its siblings (typically by
+// deciding optimistically over a shared snapshot and committing through a
+// sequencer). NewShard may return nil when sharding is unavailable — e.g.
+// the engine's inference stack cannot be cloned — in which case the service
+// falls back to routing that replica through the shared engine.
+type ShardedEngine interface {
+	Engine
+	NewShard(id int) Engine
 }
 
 // Config tunes the admission pipeline. The zero value selects the defaults.
@@ -97,6 +109,11 @@ type Config struct {
 	TraceCapacity int
 	// AuditCapacity bounds the /debug/decisions ring (default 1024).
 	AuditCapacity int
+	// Replicas sets how many batcher goroutines pull from the admission
+	// queue (default 1). With a ShardedEngine each replica gets its own
+	// decider shard, so batches decide concurrently over the shared rack
+	// state and placement throughput scales with replicas.
+	Replicas int
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +134,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AuditCapacity <= 0 {
 		c.AuditCapacity = 1024
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
 	}
 	return c
 }
@@ -158,7 +178,29 @@ func NewService(eng Engine, cfg Config) *Service {
 		drained: make(chan struct{}),
 	}
 	s.met.queueDepth = func() int { return len(s.queue) }
-	go s.run()
+	// Replica batchers: each pulls from the shared admission queue with its
+	// own decider shard when the engine can mint one; otherwise replicas
+	// share eng (safe — engines serialize internally) and scale only the
+	// batching, not the inference. drained closes after every replica has
+	// finished its final drain sweep.
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Replicas; i++ {
+		worker := eng
+		if sh, ok := eng.(ShardedEngine); ok && cfg.Replicas > 1 {
+			if shard := sh.NewShard(i); shard != nil {
+				worker = shard
+			}
+		}
+		wg.Add(1)
+		go func(worker Engine) {
+			defer wg.Done()
+			s.run(worker)
+		}(worker)
+	}
+	go func() {
+		wg.Wait()
+		close(s.drained)
+	}()
 	return s
 }
 
@@ -259,21 +301,22 @@ func (s *Service) Close(ctx context.Context) error {
 	}
 }
 
-// run is the batcher goroutine: it coalesces queued requests into batches
-// and serves them through the engine.
-func (s *Service) run() {
+// run is one replica's batcher goroutine: it coalesces queued requests into
+// batches and serves them through its engine (a per-replica shard, or the
+// shared engine when sharding is unavailable). drained is closed by the
+// service once every replica's drain sweep has returned.
+func (s *Service) run(eng Engine) {
 	for {
 		select {
 		case p := <-s.queue:
-			s.serveBatch(time.Now(), s.collect(p))
+			s.serveBatch(eng, time.Now(), s.collect(p))
 		case <-s.quit:
 			// Drain: decide everything already admitted, then exit.
 			for {
 				select {
 				case p := <-s.queue:
-					s.serveBatch(time.Now(), s.collect(p))
+					s.serveBatch(eng, time.Now(), s.collect(p))
 				default:
-					close(s.drained)
 					return
 				}
 			}
@@ -355,7 +398,7 @@ func (s *Service) collect(first *pending) []*pending {
 // (the model stages execute once per batch, so their spans are shared by
 // every trace in it); queue_wait and coalesce are per-request, measured
 // here. One assembled Trace per live request lands in the tracer ring.
-func (s *Service) serveBatch(collectStart time.Time, batch []*pending) {
+func (s *Service) serveBatch(eng Engine, collectStart time.Time, batch []*pending) {
 	live := make([]*pending, 0, len(batch))
 	reqs := make([]PlaceRequest, 0, len(batch))
 	for _, p := range batch {
@@ -379,7 +422,7 @@ func (s *Service) serveBatch(collectStart time.Time, batch []*pending) {
 		s.met.QueueWait.ObserveDuration(dispatch.Sub(p.enq))
 	}
 	coalesce := obs.Span{Name: "coalesce", Start: collectStart, Dur: dispatch.Sub(collectStart)}
-	results := s.eng.PlaceBatch(obs.WithRecorder(context.Background(), rec), reqs)
+	results := eng.PlaceBatch(obs.WithRecorder(context.Background(), rec), reqs)
 	shared := rec.Spans()
 	for i, p := range live {
 		r := results[i]

@@ -11,7 +11,13 @@
 #     (BenchmarkServeHotPathQuantB8);
 #   * the measured decision-flip rate is ≤ FLIP_BUDGET (default 0.01);
 #   * the quantized serve hot path is ≥ MIN_SPEEDUP× the float baseline
-#     (default 1.5; set MIN_SPEEDUP=0 to record without gating).
+#     (default 1.5; set MIN_SPEEDUP=0 to record without gating);
+#   * the sharded placement tier scales: 4 replica deciders sustain
+#     ≥ MIN_SCALE× the single-replica throughput (default 2.5) on the
+#     BenchmarkPlaceThroughputR{1,2,4} series at -cpu=4. The scaling gate
+#     only applies when the bench box has ≥ 4 cores — replicas cannot
+#     outrun the clock on fewer — but the honest numbers (and the core
+#     count) are recorded either way.
 #
 # Besides OUT, the results are mirrored into a numbered per-PR artifact
 # BENCH_<n>.json (n from PR_NUM, else one past the highest number already
@@ -19,7 +25,7 @@
 # PRs' gate numbers.
 #
 # Env: OUT (default BENCH_quantfast.json), BENCHTIME (default 50x),
-#      FLIP_BUDGET, MIN_SPEEDUP, PR_NUM.
+#      FLIP_BUDGET, MIN_SPEEDUP, MIN_SCALE, PR_NUM.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +33,8 @@ OUT="${OUT:-BENCH_quantfast.json}"
 BENCHTIME="${BENCHTIME:-50x}"
 FLIP_BUDGET="${FLIP_BUDGET:-0.01}"
 MIN_SPEEDUP="${MIN_SPEEDUP:-1.5}"
+MIN_SCALE="${MIN_SCALE:-2.5}"
+NCPU="$(nproc 2>/dev/null || echo 1)"
 
 bench_txt="$(mktemp)"
 flip_txt="$(mktemp)"
@@ -36,6 +44,11 @@ echo "== bench-gate: batch-8 quantized benchmarks (one core, $BENCHTIME) =="
 go test -run='^$' -cpu=1 -benchtime="$BENCHTIME" \
   -bench='^(BenchmarkPerfPredictEachFloatB8|BenchmarkPerfPredictEachQuantB8|BenchmarkServeHotPathFloatB8|BenchmarkServeHotPathQuantB8)$' \
   ./internal/models ./internal/serve | tee "$bench_txt"
+
+echo "== bench-gate: sharded placement throughput (replicas 1/2/4, -cpu=4) =="
+go test -run='^$' -cpu=4 -benchtime="$BENCHTIME" \
+  -bench='^BenchmarkPlaceThroughputR(1|2|4)$' \
+  ./internal/serve | tee -a "$bench_txt"
 
 echo "== bench-gate: decision-flip contract (fast scale) =="
 go run ./cmd/adrias-bench -scale fast -quant | tee "$flip_txt"
@@ -49,15 +62,16 @@ fi
 # Build BENCH_quantfast.json and apply the gates in one awk pass over the
 # benchmark lines. Names are stripped of the -<procs> suffix go test adds.
 awk -v out="$OUT" -v flip="$flip_rate" -v flip_budget="$FLIP_BUDGET" \
-    -v min_speedup="$MIN_SPEEDUP" '
+    -v min_speedup="$MIN_SPEEDUP" -v min_scale="$MIN_SCALE" -v ncpu="$NCPU" '
 /^Benchmark/ {
   name = $1
   sub(/-[0-9]+$/, "", name)
   ns[name] = "null"; bop[name] = "null"; alloc[name] = "null"
   for (i = 2; i <= NF; i++) {
-    if ($i == "ns/op")     ns[name] = $(i - 1)
-    if ($i == "B/op")      bop[name] = $(i - 1)
-    if ($i == "allocs/op") alloc[name] = $(i - 1)
+    if ($i == "ns/op")        ns[name] = $(i - 1)
+    if ($i == "B/op")         bop[name] = $(i - 1)
+    if ($i == "allocs/op")    alloc[name] = $(i - 1)
+    if ($i == "placements/s") pls[name] = $(i - 1)
   }
   if (!(name in seen)) { seen[name] = 1; order[++n] = name }
 }
@@ -78,7 +92,18 @@ END {
   printf "  \"serve_quant_speedup\": %.3f,\n", serve_speedup > out
   printf "  \"decision_flip_rate\": %s,\n", flip > out
   printf "  \"flip_budget\": %s,\n", flip_budget > out
-  printf "  \"min_speedup\": %s\n}\n", min_speedup > out
+  printf "  \"min_speedup\": %s,\n", min_speedup > out
+
+  r1 = ("BenchmarkPlaceThroughputR1" in pls) ? pls["BenchmarkPlaceThroughputR1"] + 0 : 0
+  r2 = ("BenchmarkPlaceThroughputR2" in pls) ? pls["BenchmarkPlaceThroughputR2"] + 0 : 0
+  r4 = ("BenchmarkPlaceThroughputR4" in pls) ? pls["BenchmarkPlaceThroughputR4"] + 0 : 0
+  scale4 = (r1 > 0) ? r4 / r1 : 0
+  printf "  \"place_throughput_r1\": %.0f,\n", r1 > out
+  printf "  \"place_throughput_r2\": %.0f,\n", r2 > out
+  printf "  \"place_throughput_r4\": %.0f,\n", r4 > out
+  printf "  \"place_scaling_r4\": %.3f,\n", scale4 > out
+  printf "  \"min_scale\": %s,\n", min_scale > out
+  printf "  \"bench_cpus\": %d\n}\n", ncpu > out
   close(out)
 
   failed = 0
@@ -105,6 +130,18 @@ END {
       printf "ok   serve quant speedup %.2fx >= %.1fx (predict %.2fx)\n", \
         serve_speedup, min_speedup, predict_speedup
     }
+  }
+  if (r1 <= 0 || r4 <= 0) {
+    printf "FAIL place-throughput benchmarks did not report placements/s\n"; failed = 1
+  } else if (ncpu + 0 < 4 || min_scale + 0 <= 0) {
+    printf "skip placement scaling gate: %d core(s) < 4 (recorded r1=%.0f r2=%.0f r4=%.0f, scaling %.2fx)\n", \
+      ncpu, r1, r2, r4, scale4
+  } else if (scale4 < min_scale + 0) {
+    printf "FAIL placement scaling %.2fx < %.1fx (r1=%.0f r4=%.0f placements/s)\n", \
+      scale4, min_scale, r1, r4; failed = 1
+  } else {
+    printf "ok   placement scaling %.2fx >= %.1fx (r1=%.0f r2=%.0f r4=%.0f placements/s)\n", \
+      scale4, min_scale, r1, r2, r4
   }
   exit failed
 }' "$bench_txt"
