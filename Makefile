@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-gate fmt vet serve-smoke chaos-smoke shard-smoke learn-smoke trace-overhead ci
+.PHONY: build test race bench bench-gate fmt vet serve-smoke chaos-smoke slo-smoke shard-smoke learn-smoke trace-overhead ci
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,14 @@ serve-smoke:
 chaos-smoke:
 	./scripts/chaos_smoke.sh
 
+## slo-smoke: end-to-end smoke of the SLO/alerting layer: serve with a
+## fault schedule, tightened burn-rate windows, and the wide-event JSONL
+## log armed; require downgrade-rate to page and clear on /debug/slo
+## (bench -assert-slo), the transition pair on /metrics, and committed
+## admissions in the wide-event ring and log file.
+slo-smoke:
+	./scripts/slo_smoke.sh
+
 ## shard-smoke: end-to-end smoke of the scale-out placement tier: 4 replica
 ## deciders over a 2-node rack with a chaos schedule armed, concurrent
 ## deploying load, per-node occupancy on /metrics, consistent
@@ -66,4 +74,4 @@ learn-smoke:
 trace-overhead:
 	./scripts/trace_overhead.sh
 
-ci: build fmt vet test race bench bench-gate serve-smoke chaos-smoke shard-smoke learn-smoke trace-overhead
+ci: build fmt vet test race bench bench-gate serve-smoke chaos-smoke slo-smoke shard-smoke learn-smoke trace-overhead

@@ -21,6 +21,12 @@ type chaosOpts struct {
 	duration time.Duration
 	conc     int
 	apps     []string
+	// assertSLO names an SLO objective that must page during the fault
+	// schedule and clear again afterwards (empty: no SLO assertion). The
+	// harness polls /debug/slo alongside /healthz and, after the load
+	// window, waits up to sloGrace for the alert to clear.
+	assertSLO string
+	sloGrace  time.Duration
 }
 
 // chaosStats aggregates the harness's observations across workers and the
@@ -34,7 +40,10 @@ type chaosStats struct {
 	reasons     map[string]int // decision reasons seen on 200s
 	breakerSeen map[string]int // breaker states observed on /healthz
 	sawDegraded bool
-	recovered   bool // healthy (breaker closed) observed after an open
+	recovered   bool           // healthy (breaker closed) observed after an open
+	sloStates   map[string]int // alert states observed for the asserted objective
+	sloPaged    bool           // objective reached "page" at some point
+	sloFinal    string         // objective state at the last /debug/slo poll
 }
 
 // runChaos drives sustained load at a chaos-mode server for the configured
@@ -53,8 +62,46 @@ func runChaos(o chaosOpts) int {
 		status:      map[int]int{},
 		reasons:     map[string]int{},
 		breakerSeen: map[string]int{},
+		sloStates:   map[string]int{},
 	}
 	deadline := time.Now().Add(o.duration)
+
+	// pollSLO samples /debug/slo once, recording the asserted objective's
+	// alert state. Returns that state ("" when unreachable or unknown).
+	pollSLO := func() string {
+		if o.assertSLO == "" {
+			return ""
+		}
+		resp, err := client.Get(base + "/debug/slo")
+		if err != nil {
+			return ""
+		}
+		defer resp.Body.Close()
+		var frame struct {
+			Objectives []struct {
+				Name  string `json:"name"`
+				State string `json:"state"`
+			} `json:"objectives"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&frame); err != nil {
+			io.Copy(io.Discard, resp.Body)
+			return ""
+		}
+		io.Copy(io.Discard, resp.Body)
+		for _, obj := range frame.Objectives {
+			if obj.Name == o.assertSLO {
+				st.mu.Lock()
+				st.sloStates[obj.State]++
+				if obj.State == "page" {
+					st.sloPaged = true
+				}
+				st.sloFinal = obj.State
+				st.mu.Unlock()
+				return obj.State
+			}
+		}
+		return ""
+	}
 
 	// The health monitor watches the breaker ride through the fault
 	// schedule: open (or half-open) at some point, closed again afterwards.
@@ -88,6 +135,7 @@ func runChaos(o chaosOpts) int {
 				}
 				st.mu.Unlock()
 			}
+			pollSLO()
 			time.Sleep(250 * time.Millisecond)
 		}
 	}()
@@ -135,6 +183,26 @@ func runChaos(o chaosOpts) int {
 	wg.Wait()
 	<-monDone
 
+	// With the fault schedule over and load stopped, give the fast window
+	// time to drain so a tripped alert can clear before the verdict.
+	if o.assertSLO != "" {
+		grace := o.sloGrace
+		if grace <= 0 {
+			grace = 20 * time.Second
+		}
+		graceEnd := time.Now().Add(grace)
+		for {
+			state := pollSLO()
+			st.mu.Lock()
+			paged := st.sloPaged
+			st.mu.Unlock()
+			if (paged && state != "" && state != "page") || time.Now().After(graceEnd) {
+				break
+			}
+			time.Sleep(500 * time.Millisecond)
+		}
+	}
+
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	fmt.Printf("chaos: %d requests over %s → %s\n", st.requests, o.duration, base)
@@ -163,6 +231,10 @@ func runChaos(o chaosOpts) int {
 	fmt.Println()
 	fmt.Printf("breaker states observed on /healthz: %v (degraded seen: %v)\n",
 		st.breakerSeen, st.sawDegraded)
+	if o.assertSLO != "" {
+		fmt.Printf("slo %q states observed on /debug/slo: %v (final: %q)\n",
+			o.assertSLO, st.sloStates, st.sloFinal)
+	}
 
 	// The graceful-degradation contract.
 	failed := 0
@@ -184,9 +256,19 @@ func runChaos(o chaosOpts) int {
 	check(st.sawDegraded, "service never reported degraded on /healthz despite the fault schedule")
 	check(st.breakerSeen["open"] > 0, "breaker never observed open on /healthz")
 	check(st.recovered, "breaker never observed closed again after opening — no recovery")
+	if o.assertSLO != "" {
+		check(len(st.sloStates) > 0, "objective %q never observed on /debug/slo", o.assertSLO)
+		check(st.sloPaged, "objective %q never paged despite the fault schedule", o.assertSLO)
+		check(st.sloFinal != "page", "objective %q still paging after recovery (final state %q)",
+			o.assertSLO, st.sloFinal)
+	}
 	if failed > 0 {
 		return 1
 	}
-	fmt.Println("chaos: degradation graceful, breaker tripped and recovered")
+	if o.assertSLO != "" {
+		fmt.Printf("chaos: degradation graceful, breaker tripped and recovered, %q paged and cleared\n", o.assertSLO)
+	} else {
+		fmt.Println("chaos: degradation graceful, breaker tripped and recovered")
+	}
 	return 0
 }

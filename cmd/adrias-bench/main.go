@@ -11,11 +11,16 @@
 //	             [-rate 0] [-apps gmm,redis,...] [-dry-run] [-deadline-ms 0]
 //	             [-dump-decisions]
 //	adrias-bench -target http://127.0.0.1:7700 -chaos [-chaos-duration 18s]
+//	             [-assert-slo downgrade-rate] [-slo-grace 20s]
 //
 // -chaos switches the load generator into the chaos harness: sustained load
 // for the whole duration against a server started with -fault-spec,
 // asserting graceful degradation (every answer a valid placement, no 5xx,
 // circuit breaker observed open and then recovered on /healthz).
+// -assert-slo additionally requires the named SLO objective to page on
+// /debug/slo during the fault schedule and to clear again within
+// -slo-grace after the load stops — the scripted form of the paper's
+// "alert fires, then resolves" operational check.
 package main
 
 import (
@@ -51,6 +56,8 @@ func run() int {
 	dumpDecisionsFlag := flag.Bool("dump-decisions", false, "load generator: print the server's /debug/decisions audit log after the run")
 	chaosFlag := flag.Bool("chaos", false, "chaos harness: sustained load asserting graceful degradation (requires -target)")
 	chaosDurFlag := flag.Duration("chaos-duration", 18*time.Second, "chaos harness: load duration (must cover the server's fault schedule plus recovery)")
+	assertSLOFlag := flag.String("assert-slo", "", "chaos harness: SLO objective that must page during the faults and clear afterwards (needs -chaos)")
+	sloGraceFlag := flag.Duration("slo-grace", 20*time.Second, "chaos harness: how long to wait after load for the asserted SLO alert to clear")
 	cpuprofileFlag := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofileFlag := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -77,6 +84,7 @@ func run() int {
 			return runChaos(chaosOpts{
 				target: *targetFlag, duration: *chaosDurFlag,
 				conc: *concFlag, apps: apps,
+				assertSLO: *assertSLOFlag, sloGrace: *sloGraceFlag,
 			})
 		}
 		return runLoadGen(loadGenOpts{

@@ -9,6 +9,8 @@
 //	                       thymesis and Go runtime series)
 //	GET  /debug/traces    (request traces with per-stage spans + percentiles)
 //	GET  /debug/decisions (placement audit log: predictions, β, QoS, reason)
+//	GET  /debug/slo       (SLO burn rates, error budgets, alert states)
+//	GET  /debug/events    (wide-event admission log, sampled)
 //
 // Usage:
 //
@@ -23,6 +25,8 @@
 //	             [-learn-min-outcomes 64] [-learn-shadow-warmup 32]
 //	             [-learn-cooldown 300] [-ambient-ramp-to 0.6]
 //	             [-ambient-ramp-sec 300] [-replicas 1] [-nodes 1]
+//	             [-slo-spec "downgrade-rate:budget=0.05,fast=15/60@2"]
+//	             [-event-log events.jsonl] [-event-sample 1]
 //
 // Without -models the fast offline phase trains a small model set first
 // (≈10 s). -debug-addr opens a second listener with the pprof surface
@@ -56,6 +60,17 @@
 // /debug/decisions carry the node). -learn is incompatible with
 // -replicas > 1: hot-swap retargets the shared inference slot that
 // per-replica clones would bypass.
+//
+// The service always evaluates its SLO catalog (DESIGN.md §15) off the
+// testbed tick — admission latency, queue wait, downgrade rate,
+// commit-conflict rate, predict-error rate, breaker-open time — with
+// Google-SRE multi-window burn-rate alerting. Alert transitions are
+// published on bus topic "obs.alerts", counted on /metrics
+// (adrias_slo_*), and served as JSON at /debug/slo. -slo-spec overrides
+// budgets, windows, burn thresholds, and latency thresholds per objective
+// (obs.ParseSLOSpec syntax). Every committed admission additionally emits
+// one wide event into a ring behind /debug/events; -event-log appends the
+// same records as JSONL, -event-sample keeps one in N.
 package main
 
 import (
@@ -63,6 +78,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -75,6 +91,7 @@ import (
 	"adrias/internal/faults"
 	"adrias/internal/learn"
 	"adrias/internal/models"
+	"adrias/internal/obs"
 	"adrias/internal/profiling"
 	"adrias/internal/serve"
 )
@@ -114,6 +131,9 @@ func main() {
 	ambientRampSec := flag.Float64("ambient-ramp-sec", 0, "simulated seconds over which the ambient ramp completes")
 	replicas := flag.Int("replicas", 1, "replica placement deciders over the shared rack-state view")
 	rackNodes := flag.Int("nodes", 1, "simulated rack size: nodes with their own fabric and remote pool")
+	sloSpec := flag.String("slo-spec", "", "per-objective SLO overrides, e.g. \"downgrade-rate:budget=0.05,fast=15/60@2,slow=120/480@1\" (empty: defaults)")
+	eventLog := flag.String("event-log", "", "append committed-admission wide events as JSONL to this file (empty: ring only)")
+	eventSample := flag.Int("event-sample", 1, "record one admission wide event in N (1: every admission)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -149,6 +169,9 @@ func main() {
 	}
 	if *learnOn && *replicas > 1 {
 		fail("-learn is incompatible with -replicas > 1: the hot-swap slot is bypassed by per-replica model clones")
+	}
+	if *eventSample < 1 {
+		fail("-event-sample must be ≥ 1 (got %d)", *eventSample)
 	}
 	var learnCfg *learn.Config
 	if *learnOn {
@@ -195,6 +218,20 @@ func main() {
 	// Every decision and monitoring sample is published on an in-process
 	// bus; -bus-addr additionally serves it over TCP for live subscribers.
 	events := bus.New()
+	var eventLogW *os.File
+	if *eventLog != "" {
+		f, err := os.OpenFile(*eventLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail("-event-log: %v", err)
+		}
+		eventLogW = f
+		defer f.Close()
+	}
+	var sinkW io.Writer
+	if eventLogW != nil {
+		sinkW = eventLogW
+	}
+	sink := obs.NewEventSink(1024, *eventSample, sinkW)
 	eng := serve.NewSystemEngine(sys.Pred, sys.Watch, sys.Registry, serve.EngineConfig{
 		Beta:        *beta,
 		QoSFactor:   *qosFactor,
@@ -202,6 +239,7 @@ func main() {
 		Seed:        *seed,
 		Nodes:       *rackNodes,
 		Bus:         events,
+		Events:      sink,
 		Faults:      injector,
 		Breaker: faults.BreakerConfig{
 			Threshold: *breakerThreshold,
@@ -231,6 +269,13 @@ func main() {
 	// by the service; add the testbed fabric, the bus, and model inference.
 	tel := svc.Telemetry()
 	eng.RegisterObs(tel)
+	slo, err := serve.BuildSLO(serve.SLOConfig{Spec: *sloSpec}, svc.Metrics(), eng)
+	if err != nil {
+		fail("%v", err)
+	}
+	eng.AttachSLO(slo)
+	tel.AttachSLO(slo)
+	tel.AttachEvents(sink)
 	events.RegisterMetrics(tel.Registry)
 	models.RegisterMetrics(tel.Registry)
 	if injector != nil {
@@ -245,7 +290,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer busSrv.Close()
-		fmt.Printf("event bus on tcp://%s (topics orchestrator.decisions, watcher.samples, model.generations, cluster.view)\n", busSrv.Addr())
+		fmt.Printf("event bus on tcp://%s (topics orchestrator.decisions, watcher.samples, model.generations, cluster.view, obs.alerts)\n", busSrv.Addr())
 	}
 	if *debugAddr != "" {
 		dln, err := net.Listen("tcp", *debugAddr)
@@ -268,8 +313,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("placement service on http://%s (POST /v1/place, /healthz, /metrics, /debug/traces, /debug/decisions)\n",
+	fmt.Printf("placement service on http://%s (POST /v1/place, /healthz, /metrics, /debug/traces, /debug/decisions, /debug/slo, /debug/events)\n",
 		ln.Addr())
+	if eventLogW != nil {
+		fmt.Printf("wide-event log appending to %s (1 in %d sampled)\n", *eventLog, *eventSample)
+	}
 
 	// Advance the testbed against the wall clock until shutdown.
 	tickerDone := make(chan struct{})

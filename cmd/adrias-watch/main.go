@@ -9,23 +9,38 @@
 //
 //	[cluster.view] v=1042 t=310s | node0 run=7(+1) remote=504.0GB(-8.0) fab=12% | node1 ...
 //
+// The obs.alerts topic (SLO alert transitions) is rendered as a one-line
+// paging event:
+//
+//	[obs.alerts] downgrade-rate ok→page fast=16.2x slow=1.4x budget=31% t=42s
+//
 // Usage:
 //
 //	adrias-watch [-addr 127.0.0.1:7601]
-//	             [-topics watcher.samples,orchestrator.decisions,model.generations,cluster.view]
+//	             [-topics watcher.samples,orchestrator.decisions,model.generations,cluster.view,obs.alerts]
 //	             [-n max]
+//	adrias-watch -once [-serve http://127.0.0.1:7700]
+//
+// -once skips the bus entirely: it fetches one frame of /debug/slo and the
+// adrias_slo_* section of /metrics from the placement service, prints a
+// snapshot, and exits (nonzero when the service is unreachable) — the
+// scriptable counterpart of tailing obs.alerts.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"adrias/internal/bus"
 	"adrias/internal/cluster"
+	"adrias/internal/obs"
 )
 
 // viewRenderer formats cluster.view payloads with per-node deltas against
@@ -64,11 +79,85 @@ func (r *viewRenderer) render(payload []byte) (string, bool) {
 	return sb.String(), true
 }
 
+// renderAlert formats obs.alerts payloads (SLO alert transitions).
+func renderAlert(payload []byte) (string, bool) {
+	var tr obs.SLOTransition
+	if err := json.Unmarshal(payload, &tr); err != nil || tr.Objective == "" {
+		return "", false
+	}
+	return fmt.Sprintf("%s %s→%s fast=%.1fx slow=%.1fx budget=%.0f%% t=%.0fs",
+		tr.Objective, tr.From, tr.To, tr.FastBurn, tr.SlowBurn, tr.BudgetRem*100, tr.SimTime), true
+}
+
+// sloFrame is the subset of the /debug/slo payload -once renders.
+type sloFrame struct {
+	SimTime    float64                  `json:"sim_time_s"`
+	Evals      uint64                   `json:"evaluations"`
+	Overall    string                   `json:"overall"`
+	Objectives []obs.SLOObjectiveStatus `json:"objectives"`
+}
+
+// snapshotOnce prints one frame of /debug/slo plus the adrias_slo_* metric
+// section and returns an exit code: the scriptable -once mode.
+func snapshotOnce(serveURL string) int {
+	cli := &http.Client{Timeout: 5 * time.Second}
+	base := strings.TrimSuffix(serveURL, "/")
+
+	resp, err := cli.Get(base + "/debug/slo")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adrias-watch: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "adrias-watch: GET /debug/slo: %s\n", resp.Status)
+		return 1
+	}
+	var frame sloFrame
+	if err := json.NewDecoder(resp.Body).Decode(&frame); err != nil {
+		fmt.Fprintf(os.Stderr, "adrias-watch: decoding /debug/slo: %v\n", err)
+		return 1
+	}
+	fmt.Printf("slo overall=%s t=%.0fs evaluations=%d\n", frame.Overall, frame.SimTime, frame.Evals)
+	for _, o := range frame.Objectives {
+		fmt.Printf("  %-22s %-4s budget=%.2g%% remaining=%.0f%% fast=%.2fx/%.2fx slow=%.2fx/%.2fx bad=%.0f/%.0f\n",
+			o.Name, o.State, o.Budget*100, o.BudgetRemaining*100,
+			o.BurnFastShort, o.BurnFastLong, o.BurnSlowShort, o.BurnSlowLong, o.Bad, o.Total)
+	}
+
+	mresp, err := cli.Get(base + "/metrics")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adrias-watch: %v\n", err)
+		return 1
+	}
+	defer mresp.Body.Close()
+	fmt.Println("metrics (adrias_slo_*):")
+	sc := bufio.NewScanner(mresp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "adrias_slo_") {
+			fmt.Println("  " + line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "adrias-watch: reading /metrics: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7601", "adriasd bus address")
-	topics := flag.String("topics", "watcher.samples,orchestrator.decisions,model.generations,cluster.view", "comma-separated topics")
+	topics := flag.String("topics", "watcher.samples,orchestrator.decisions,model.generations,cluster.view,obs.alerts", "comma-separated topics")
 	max := flag.Int("n", 0, "exit after this many messages (0 = run until the bus closes)")
+	once := flag.Bool("once", false, "print one snapshot of /debug/slo + adrias_slo_* metrics from -serve, then exit")
+	serveURL := flag.String("serve", "http://127.0.0.1:7700", "placement-service base URL for -once")
 	flag.Parse()
+
+	if *once {
+		os.Exit(snapshotOnce(*serveURL))
+	}
 
 	cli, err := bus.Dial(*addr)
 	if err != nil {
@@ -96,8 +185,13 @@ func main() {
 			for m := range ch {
 				mu.Lock()
 				line := string(m.Payload)
-				if topic == "cluster.view" {
+				switch topic {
+				case "cluster.view":
 					if rendered, ok := views.render(m.Payload); ok {
+						line = rendered
+					}
+				case "obs.alerts":
+					if rendered, ok := renderAlert(m.Payload); ok {
 						line = rendered
 					}
 				}

@@ -10,7 +10,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log/slog"
 	"sync"
 	"sync/atomic"
 
@@ -114,7 +113,7 @@ func (b *Bus) Publish(topic string, payload any) (int, error) {
 		default:
 			b.dropped.Add(1)
 			if sub.warned.CompareAndSwap(false, true) {
-				slog.Warn("bus: dropping messages to slow subscriber",
+				obs.Logger("bus").Warn("dropping messages to slow subscriber",
 					"topic", topic, "subscriber", id, "buffer", cap(sub.ch))
 			}
 		}

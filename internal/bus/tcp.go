@@ -6,10 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log/slog"
 	"net"
 	"sync"
 	"time"
+
+	"adrias/internal/obs"
 )
 
 // The TCP wire protocol: each frame is a 4-byte big-endian length followed
@@ -199,7 +200,7 @@ func (s *Server) serveConn(conn net.Conn) {
 					if err := send(m); err != nil {
 						s.bus.dropped.Add(1)
 						warnOnce.Do(func() {
-							slog.Warn("bus: disconnecting slow TCP subscriber",
+							obs.Logger("bus").Warn("disconnecting slow TCP subscriber",
 								"remote", conn.RemoteAddr().String(),
 								"topic", topic, "err", err)
 						})

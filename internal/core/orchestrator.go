@@ -44,6 +44,25 @@ const (
 	ReasonCommitConflict = "commit-conflict"
 )
 
+// IsDowngradeReason reports whether a decision reason marks a placement
+// downgrade: a remote-worthy verdict forced onto the safe local tier by
+// pressure outside the model's judgment (full pool, impaired fabric, lost
+// commit race). The SLO downgrade-rate objective counts exactly these.
+func IsDowngradeReason(reason string) bool {
+	switch reason {
+	case ReasonCapacity, ReasonFabricDegraded, ReasonCommitConflict:
+		return true
+	}
+	return false
+}
+
+// IsPredictFailureReason reports whether a decision reason marks a
+// prediction-path failure — the model erred or the breaker short-circuited
+// it — feeding the SLO predict-error objective.
+func IsPredictFailureReason(reason string) bool {
+	return reason == ReasonPredictError || reason == ReasonBreakerOpen
+}
+
 // ErrBreakerOpen marks per-query prediction errors produced while the
 // predictor circuit breaker is open (see internal/faults). DecideBatch
 // classifies decisions carrying it as ReasonBreakerOpen rather than

@@ -117,6 +117,10 @@ type Deps struct {
 	// OnSwap, when set, observes every promotion (audit + bus publication).
 	// It is called with the loop mutex held, from the engine's lock context.
 	OnSwap func(SwapEvent)
+	// OnOutcome, when set, observes every joined realized outcome (the
+	// engine emits a wide "outcome" event carrying the trace-ID join). It is
+	// called with the loop mutex held, from the engine's lock context.
+	OnOutcome func(o Outcome)
 }
 
 // State is the lifecycle position of the loop.
@@ -425,7 +429,7 @@ func (l *Loop) Complete(instID int, realized float64, fut120, futExec mathx.Vect
 		l.unmatched++
 		return
 	}
-	l.buf.Append(Outcome{
+	out := Outcome{
 		App:        pd.app,
 		Class:      pd.class,
 		Remote:     pd.remote,
@@ -437,7 +441,11 @@ func (l *Loop) Complete(instID int, realized float64, fut120, futExec mathx.Vect
 		Gen:        pd.gen,
 		PredLive:   pd.predLive,
 		SimTime:    now,
-	})
+	}
+	l.buf.Append(out)
+	if l.deps.OnOutcome != nil {
+		l.deps.OnOutcome(out)
+	}
 	// Drift: only current-generation predictions grade the live model.
 	if pd.predLive > 0 && pd.gen == int(l.gen.Load()) {
 		l.drift.observe(pd.remote == 1, relErr(pd.predLive, realized))

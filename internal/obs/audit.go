@@ -33,6 +33,10 @@ type DecisionRecord struct {
 	// currently "model-swap", recorded when the learning loop promotes a
 	// retrained candidate.
 	Event string `json:"event,omitempty"`
+	// SLOState is the overall SLO verdict at decision time ("ok", "warn",
+	// "page"; empty when no SLO engine is attached), so the audit log can be
+	// sliced by system health after the fact.
+	SLOState string `json:"slo_state,omitempty"`
 }
 
 // AuditLog retains the most recent decision records in a fixed-size ring,

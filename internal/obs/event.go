@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// The wide-event log: one canonical structured record per committed
+// admission — the single joinable answer to "what did the system do and
+// why". Events are sampled 1-in-N, retained in a lock-cheap ring (same
+// atomic-slot discipline as the AuditLog) behind /debug/events, and
+// optionally streamed as JSONL through a slog JSON handler (-event-log).
+
+// WideEvent is the canonical admission record. Kind "admission" is emitted
+// at commit time with the predicted times; when the learning loop is armed,
+// a companion Kind "outcome" event carries the realized performance joined
+// by trace ID.
+type WideEvent struct {
+	Kind        string    `json:"kind"`
+	TraceID     string    `json:"trace_id,omitempty"`
+	Time        time.Time `json:"time"`
+	SimTime     float64   `json:"sim_time_s"`
+	App         string    `json:"app"`
+	Class       string    `json:"class,omitempty"`
+	Tier        string    `json:"tier,omitempty"`
+	Node        int       `json:"node"`
+	Reason      string    `json:"reason,omitempty"`
+	PredLocalS  float64   `json:"pred_local_s,omitempty"`
+	PredRemoteS float64   `json:"pred_remote_s,omitempty"`
+	RealizedS   float64   `json:"realized_s,omitempty"`
+	ColdStart   bool      `json:"cold_start,omitempty"`
+	Fallback    bool      `json:"fallback,omitempty"`
+	BatchSize   int       `json:"batch_size,omitempty"`
+	ModelGen    int       `json:"model_gen,omitempty"`
+	// SLOState is the overall SLO verdict at decision time ("ok", "warn",
+	// "page"), so post-hoc queries can slice admissions by system health.
+	SLOState string `json:"slo_state,omitempty"`
+}
+
+type eventEntry struct {
+	ev  WideEvent
+	seq uint64
+}
+
+// EventSink retains sampled wide events in a fixed ring and optionally
+// streams every retained event to a JSONL writer. Record is safe for
+// concurrent use; the ring costs one atomic increment plus one pointer
+// store per retained event.
+type EventSink struct {
+	slots    []atomic.Pointer[eventEntry]
+	next     atomic.Uint64
+	sample   uint64
+	seen     atomic.Uint64 // admissions offered, before sampling
+	sampled  atomic.Uint64 // admissions skipped by sampling
+	log      *slog.Logger  // nil without a JSONL writer
+	logLevel slog.Level
+}
+
+// NewEventSink builds a sink retaining capacity events (minimum 1), keeping
+// one admission in sample (≤1 keeps all). w, when non-nil, receives every
+// retained event as one JSON line (slog JSON handler; the caller owns the
+// underlying file).
+func NewEventSink(capacity, sample int, w io.Writer) *EventSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if sample < 1 {
+		sample = 1
+	}
+	s := &EventSink{
+		slots:  make([]atomic.Pointer[eventEntry], capacity),
+		sample: uint64(sample),
+	}
+	if w != nil {
+		s.log = slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo}))
+		s.logLevel = slog.LevelInfo
+	}
+	return s
+}
+
+// SampleEvery reports the sink's 1-in-N sampling rate.
+func (s *EventSink) SampleEvery() int { return int(s.sample) }
+
+// Record offers one admission to the sink. Sampling keeps the first of
+// every N offers; a kept event claims a ring slot and, when a JSONL writer
+// is configured, emits one slog record.
+func (s *EventSink) Record(ev WideEvent) {
+	n := s.seen.Add(1)
+	if s.sample > 1 && (n-1)%s.sample != 0 {
+		s.sampled.Add(1)
+		return
+	}
+	e := &eventEntry{ev: ev, seq: s.next.Add(1)}
+	s.slots[(e.seq-1)%uint64(len(s.slots))].Store(e)
+	if s.log != nil {
+		s.log.LogAttrs(context.Background(), s.logLevel, ev.Kind,
+			slog.String("trace_id", ev.TraceID),
+			slog.Float64("sim_time_s", ev.SimTime),
+			slog.String("app", ev.App),
+			slog.String("class", ev.Class),
+			slog.String("tier", ev.Tier),
+			slog.Int("node", ev.Node),
+			slog.String("reason", ev.Reason),
+			slog.Float64("pred_local_s", ev.PredLocalS),
+			slog.Float64("pred_remote_s", ev.PredRemoteS),
+			slog.Float64("realized_s", ev.RealizedS),
+			slog.Bool("cold_start", ev.ColdStart),
+			slog.Bool("fallback", ev.Fallback),
+			slog.Int("batch_size", ev.BatchSize),
+			slog.Int("model_gen", ev.ModelGen),
+			slog.String("slo_state", ev.SLOState),
+		)
+	}
+}
+
+// Total returns the number of events retained into the ring, ever.
+func (s *EventSink) Total() uint64 { return s.next.Load() }
+
+// Seen returns the number of admissions offered, before sampling.
+func (s *EventSink) Seen() uint64 { return s.seen.Load() }
+
+// Capacity returns the ring size.
+func (s *EventSink) Capacity() int { return len(s.slots) }
+
+// Snapshot returns the retained events, oldest first.
+func (s *EventSink) Snapshot() []WideEvent {
+	type seqEv struct {
+		seq uint64
+		ev  WideEvent
+	}
+	tmp := make([]seqEv, 0, len(s.slots))
+	for i := range s.slots {
+		if p := s.slots[i].Load(); p != nil {
+			tmp = append(tmp, seqEv{seq: p.seq, ev: p.ev})
+		}
+	}
+	for i := 1; i < len(tmp); i++ {
+		for j := i; j > 0 && tmp[j-1].seq > tmp[j].seq; j-- {
+			tmp[j-1], tmp[j] = tmp[j], tmp[j-1]
+		}
+	}
+	out := make([]WideEvent, len(tmp))
+	for i, t := range tmp {
+		out[i] = t.ev
+	}
+	return out
+}
+
+type eventsPayload struct {
+	Seen        uint64      `json:"admissions_seen"`
+	Retained    int         `json:"retained"`
+	SampleEvery int         `json:"sample_every"`
+	Events      []WideEvent `json:"events"`
+}
+
+// Handler serves the /debug/events endpoint: retained wide events, oldest
+// first. ?trace_id=<id> filters to one trace; ?limit=N keeps the most
+// recent N.
+func (s *EventSink) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		evs := s.Snapshot()
+		if id := r.URL.Query().Get("trace_id"); id != "" {
+			kept := evs[:0]
+			for _, ev := range evs {
+				if ev.TraceID == id {
+					kept = append(kept, ev)
+				}
+			}
+			evs = kept
+		}
+		if n, ok := parseLimit(r); ok && n < len(evs) {
+			evs = evs[len(evs)-n:]
+		}
+		writeJSON(w, eventsPayload{
+			Seen: s.seen.Load(), Retained: len(evs),
+			SampleEvery: int(s.sample), Events: evs,
+		})
+	})
+}
+
+// RegisterMetrics publishes the sink's counters on the shared registry.
+func (s *EventSink) RegisterMetrics(r *Registry) {
+	r.MustRegister("adrias_events", CollectorFunc(func(w io.Writer) {
+		WriteCounter(w, "adrias_events_seen_total", "Committed admissions offered to the wide-event sink.", s.seen.Load())
+		WriteCounter(w, "adrias_events_recorded_total", "Wide events retained (post-sampling).", s.next.Load())
+		WriteCounter(w, "adrias_events_sampled_out_total", "Admissions skipped by 1-in-N sampling.", s.sampled.Load())
+		WriteGauge(w, "adrias_events_sample_every", "Configured 1-in-N sampling rate.", float64(s.sample))
+	}))
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestEventSinkSampling(t *testing.T) {
+	s := NewEventSink(16, 3, nil)
+	for i := 0; i < 9; i++ {
+		s.Record(WideEvent{Kind: "admission", App: fmt.Sprintf("a%d", i)})
+	}
+	if s.Seen() != 9 {
+		t.Errorf("Seen = %d, want 9", s.Seen())
+	}
+	// 1-in-3 keeps the first of every three offers: a0, a3, a6.
+	if s.Total() != 3 {
+		t.Errorf("Total = %d, want 3", s.Total())
+	}
+	evs := s.Snapshot()
+	var apps []string
+	for _, ev := range evs {
+		apps = append(apps, ev.App)
+	}
+	if got := strings.Join(apps, ","); got != "a0,a3,a6" {
+		t.Errorf("retained %q, want a0,a3,a6", got)
+	}
+	if s.SampleEvery() != 3 {
+		t.Errorf("SampleEvery = %d, want 3", s.SampleEvery())
+	}
+}
+
+func TestEventSinkRingWrap(t *testing.T) {
+	s := NewEventSink(4, 1, nil)
+	for i := 0; i < 10; i++ {
+		s.Record(WideEvent{App: fmt.Sprintf("a%d", i)})
+	}
+	evs := s.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4 (ring capacity)", len(evs))
+	}
+	for i, want := range []string{"a6", "a7", "a8", "a9"} {
+		if evs[i].App != want {
+			t.Errorf("snapshot[%d] = %q, want %q (oldest first)", i, evs[i].App, want)
+		}
+	}
+}
+
+func TestEventSinkJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewEventSink(8, 1, &buf)
+	s.Record(WideEvent{Kind: "admission", TraceID: "t1", App: "gmm", Tier: "remote",
+		Reason: "predicted-faster", PredLocalS: 1.5, SLOState: "ok"})
+	s.Record(WideEvent{Kind: "outcome", TraceID: "t1", App: "gmm", RealizedS: 1.7})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("JSONL wrote %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if rec["msg"] != "admission" || rec["app"] != "gmm" || rec["tier"] != "remote" ||
+		rec["slo_state"] != "ok" || rec["trace_id"] != "t1" {
+		t.Errorf("admission line = %v", rec)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("line 1 is not JSON: %v", err)
+	}
+	if rec["msg"] != "outcome" || rec["realized_s"] != 1.7 {
+		t.Errorf("outcome line = %v", rec)
+	}
+}
+
+func TestEventSinkHandler(t *testing.T) {
+	s := NewEventSink(8, 1, nil)
+
+	// Empty ring: valid JSON, zero counts.
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/events", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var p struct {
+		Seen        uint64      `json:"admissions_seen"`
+		Retained    int         `json:"retained"`
+		SampleEvery int         `json:"sample_every"`
+		Events      []WideEvent `json:"events"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Seen != 0 || p.Retained != 0 || p.SampleEvery != 1 || len(p.Events) != 0 {
+		t.Errorf("empty payload = %+v", p)
+	}
+
+	for i := 0; i < 6; i++ {
+		s.Record(WideEvent{App: fmt.Sprintf("a%d", i), TraceID: fmt.Sprintf("t%d", i%2)})
+	}
+
+	// ?limit keeps the most recent N.
+	rr = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/events?limit=2", nil))
+	if err := json.Unmarshal(rr.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Retained != 2 || p.Events[0].App != "a4" || p.Events[1].App != "a5" {
+		t.Errorf("limit=2 payload = %+v", p)
+	}
+
+	// ?trace_id filters.
+	rr = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/events?trace_id=t1", nil))
+	if err := json.Unmarshal(rr.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Retained != 3 {
+		t.Fatalf("trace_id=t1 retained %d, want 3", p.Retained)
+	}
+	for _, ev := range p.Events {
+		if ev.TraceID != "t1" {
+			t.Errorf("filter leaked %+v", ev)
+		}
+	}
+}
+
+func TestEventSinkMetrics(t *testing.T) {
+	s := NewEventSink(4, 2, nil)
+	for i := 0; i < 5; i++ {
+		s.Record(WideEvent{App: "x"})
+	}
+	r := NewRegistry()
+	s.RegisterMetrics(r)
+	rr := httptest.NewRecorder()
+	r.WritePrometheus(rr)
+	body := rr.Body.String()
+	for _, want := range []string{
+		"adrias_events_seen_total 5",
+		"adrias_events_recorded_total 3",
+		"adrias_events_sampled_out_total 2",
+		"adrias_events_sample_every 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}

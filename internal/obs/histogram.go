@@ -58,6 +58,20 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the running sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// CountOver returns the number of observations recorded above the given
+// bound, at bucket granularity: observations land in the first bucket whose
+// upper bound covers them, and only whole buckets strictly above the bound
+// are counted. Exact when bound is a bucket boundary (pick SLO latency
+// thresholds on boundaries); otherwise a conservative undercount.
+func (h *Histogram) CountOver(bound float64) uint64 {
+	i := sort.SearchFloat64s(h.bounds, bound)
+	var over uint64
+	for j := i + 1; j < len(h.counts); j++ {
+		over += h.counts[j].Load()
+	}
+	return over
+}
+
 // Quantile returns an upper-bound estimate of the q-quantile (0..1) from
 // the bucket counts — good enough for operator read-outs.
 func (h *Histogram) Quantile(q float64) float64 {

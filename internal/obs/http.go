@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -35,7 +36,8 @@ type tracesPayload struct {
 
 // Handler returns the /debug/traces endpoint: retained traces (oldest
 // first) plus per-stage percentile summaries. ?id=<trace-id> filters to one
-// trace (404 when it has rolled out of the ring).
+// trace (404 when it has rolled out of the ring); ?limit=N keeps only the
+// most recent N traces.
 func (t *Tracer) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		var traces []Trace
@@ -48,6 +50,9 @@ func (t *Tracer) Handler() http.Handler {
 			traces = []Trace{tr}
 		} else {
 			traces = t.Snapshot()
+			if n, ok := parseLimit(r); ok && n < len(traces) {
+				traces = traces[len(traces)-n:]
+			}
 		}
 		order, summary := t.StageSummary()
 		p := tracesPayload{
@@ -77,7 +82,8 @@ type decisionsPayload struct {
 }
 
 // Handler returns the /debug/decisions endpoint: the retained audit
-// records, oldest first. ?trace_id=<id> filters to one record.
+// records, oldest first. ?trace_id=<id> filters to one record; ?limit=N
+// keeps only the most recent N records.
 func (l *AuditLog) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		var recs []DecisionRecord
@@ -90,9 +96,26 @@ func (l *AuditLog) Handler() http.Handler {
 			recs = []DecisionRecord{rec}
 		} else {
 			recs = l.Snapshot()
+			if n, ok := parseLimit(r); ok && n < len(recs) {
+				recs = recs[len(recs)-n:]
+			}
 		}
 		writeJSON(w, decisionsPayload{Total: l.Total(), Retained: len(recs), Decisions: recs})
 	})
+}
+
+// parseLimit reads the shared ?limit=N query parameter of the debug
+// endpoints (N ≥ 0; absent or malformed values mean "no limit").
+func parseLimit(r *http.Request) (int, bool) {
+	s := r.URL.Query().Get("limit")
+	if s == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestTracerHandler(t *testing.T) {
+	tr := NewTracer(8)
+
+	// Empty ring: valid JSON with zero traces.
+	rr := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var p struct {
+		Total    uint64 `json:"total_traces"`
+		Retained int    `json:"retained"`
+		Traces   []struct {
+			ID  string `json:"id"`
+			App string `json:"app"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != 0 || p.Retained != 0 || len(p.Traces) != 0 {
+		t.Errorf("empty payload = %+v", p)
+	}
+
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		tr.Record(Trace{ID: fmt.Sprintf("id%d", i), App: "gmm", Start: start,
+			Stages: []Span{{Name: "decide", Start: start, Dur: time.Millisecond}}})
+	}
+
+	// ?limit=2 keeps the two most recent traces.
+	rr = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?limit=2", nil))
+	if err := json.Unmarshal(rr.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Retained != 2 || len(p.Traces) != 2 {
+		t.Fatalf("limit=2 retained %d traces", len(p.Traces))
+	}
+	if p.Traces[0].ID != "id3" || p.Traces[1].ID != "id4" {
+		t.Errorf("limit kept %s,%s; want id3,id4 (most recent)", p.Traces[0].ID, p.Traces[1].ID)
+	}
+
+	// Malformed and negative limits are ignored, not errors.
+	for _, q := range []string{"?limit=abc", "?limit=-1", "?limit=99"} {
+		rr = httptest.NewRecorder()
+		tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces"+q, nil))
+		if err := json.Unmarshal(rr.Body.Bytes(), &p); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if p.Retained != 5 {
+			t.Errorf("%s retained %d, want all 5", q, p.Retained)
+		}
+	}
+
+	// ?id= hits and misses.
+	rr = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?id=id2", nil))
+	if err := json.Unmarshal(rr.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Retained != 1 || p.Traces[0].ID != "id2" {
+		t.Errorf("id filter payload = %+v", p)
+	}
+	rr = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?id=nope", nil))
+	if rr.Code != 404 {
+		t.Errorf("missing trace → %d, want 404", rr.Code)
+	}
+}
+
+func TestAuditLogHandler(t *testing.T) {
+	l := NewAuditLog(8)
+
+	rr := httptest.NewRecorder()
+	l.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/decisions", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var p struct {
+		Total     uint64           `json:"total_decisions"`
+		Retained  int              `json:"retained"`
+		Decisions []DecisionRecord `json:"decisions"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != 0 || p.Retained != 0 || len(p.Decisions) != 0 {
+		t.Errorf("empty payload = %+v", p)
+	}
+
+	for i := 0; i < 5; i++ {
+		l.Record(DecisionRecord{TraceID: fmt.Sprintf("t%d", i), App: "redis",
+			Tier: "local", Reason: "qos", SLOState: "ok"})
+	}
+
+	rr = httptest.NewRecorder()
+	l.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/decisions?limit=3", nil))
+	if err := json.Unmarshal(rr.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Retained != 3 || p.Decisions[0].TraceID != "t2" || p.Decisions[2].TraceID != "t4" {
+		t.Errorf("limit=3 payload = %+v", p)
+	}
+	if p.Decisions[0].SLOState != "ok" {
+		t.Errorf("SLOState lost in JSON round-trip: %+v", p.Decisions[0])
+	}
+
+	rr = httptest.NewRecorder()
+	l.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/decisions?trace_id=t1", nil))
+	if err := json.Unmarshal(rr.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Retained != 1 || p.Decisions[0].TraceID != "t1" {
+		t.Errorf("trace_id filter payload = %+v", p)
+	}
+	rr = httptest.NewRecorder()
+	l.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/decisions?trace_id=absent", nil))
+	if rr.Code != 404 {
+		t.Errorf("missing decision → %d, want 404", rr.Code)
+	}
+}

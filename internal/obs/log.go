@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"log/slog"
+	"sync/atomic"
+)
+
+// Shared component-tagged logging: every package that emits operational
+// warnings (bus backpressure, serve intern-table saturation, the event-log
+// writer) gets its logger here, so ad-hoc warnings and the wide-event stream
+// share one slog pipeline and one attribute vocabulary. The base logger
+// defaults to slog.Default(); SetLogger retargets it process-wide (call
+// before serving — loggers handed out earlier keep the base they saw).
+var baseLogger atomic.Pointer[slog.Logger]
+
+// Logger returns the shared logger tagged with a component attribute
+// ("bus", "serve", "obs", ...). Call at the warn site or at construction;
+// the returned logger is safe for concurrent use.
+func Logger(component string) *slog.Logger {
+	l := baseLogger.Load()
+	if l == nil {
+		l = slog.Default()
+	}
+	return l.With("component", component)
+}
+
+// SetLogger retargets the shared base logger (nil restores slog.Default).
+func SetLogger(l *slog.Logger) { baseLogger.Store(l) }

@@ -1,0 +1,510 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// SLO evaluation: declarative objectives over cumulative (bad, total)
+// counters, judged with Google-SRE multi-window multi-burn-rate alerting.
+//
+// Each objective names an error budget (the allowed bad fraction) and a
+// Source returning cumulative counts. Once per engine tick the evaluator
+// samples every source, anchors the samples in a decimating ring, and
+// computes the burn rate — observed bad fraction divided by the budget —
+// over four rolling windows of simulated time:
+//
+//	page when burn ≥ FastBurn on BOTH the fast-short and fast-long windows
+//	warn when burn ≥ SlowBurn on BOTH the slow-short and slow-long windows
+//
+// The long window keeps one bad minute from paging forever after; the short
+// window clears the alert quickly once the condition stops. Everything runs
+// on the simulated clock, so chaos tests drive alerts deterministically.
+
+// SLOState is an objective's alert state. Ordered by severity so the
+// overall state is a max over objectives.
+type SLOState int32
+
+const (
+	SLOOk SLOState = iota
+	SLOWarn
+	SLOPage
+)
+
+func (s SLOState) String() string {
+	switch s {
+	case SLOWarn:
+		return "warn"
+	case SLOPage:
+		return "page"
+	default:
+		return "ok"
+	}
+}
+
+// SLOWindows holds the four rolling windows (simulated seconds) and the two
+// burn-rate thresholds of the multi-window rule.
+type SLOWindows struct {
+	FastShort float64 `json:"fast_short_s"`
+	FastLong  float64 `json:"fast_long_s"`
+	SlowShort float64 `json:"slow_short_s"`
+	SlowLong  float64 `json:"slow_long_s"`
+	FastBurn  float64 `json:"fast_burn"`
+	SlowBurn  float64 `json:"slow_burn"`
+}
+
+// DefaultSLOWindows is the canonical SRE-workbook configuration: a 5m/1h
+// page at burn 14.4 (2% of a 30-day budget in an hour) and a 6h/3d warn at
+// burn 1 (budget exhaustion pace).
+func DefaultSLOWindows() SLOWindows {
+	return SLOWindows{
+		FastShort: 300, FastLong: 3600, FastBurn: 14.4,
+		SlowShort: 21600, SlowLong: 259200, SlowBurn: 1,
+	}
+}
+
+// SLOObjective declares one objective. Source returns cumulative (bad,
+// total) event counts; it is called once per Evaluate, possibly under the
+// caller's lock, so it must only read atomics or other lock-free state.
+type SLOObjective struct {
+	Name string
+	Help string
+	// Budget is the allowed bad fraction (0 < Budget < 1), e.g. 0.01 for a
+	// 99% objective.
+	Budget  float64
+	Windows SLOWindows
+	Source  func() (bad, total float64)
+}
+
+// SLOTransition is one alert state change, published on the obs.alerts bus
+// topic and counted on /metrics.
+type SLOTransition struct {
+	Objective string  `json:"objective"`
+	From      string  `json:"from"`
+	To        string  `json:"to"`
+	FastBurn  float64 `json:"fast_burn"`
+	SlowBurn  float64 `json:"slow_burn"`
+	BudgetRem float64 `json:"budget_remaining"`
+	SimTime   float64 `json:"sim_time_s"`
+}
+
+// SLOObjectiveStatus is the JSON read-out of one objective on /debug/slo.
+type SLOObjectiveStatus struct {
+	Name            string     `json:"name"`
+	Help            string     `json:"help,omitempty"`
+	Budget          float64    `json:"budget"`
+	State           string     `json:"state"`
+	BurnFastShort   float64    `json:"burn_fast_short"`
+	BurnFastLong    float64    `json:"burn_fast_long"`
+	BurnSlowShort   float64    `json:"burn_slow_short"`
+	BurnSlowLong    float64    `json:"burn_slow_long"`
+	BudgetRemaining float64    `json:"budget_remaining"`
+	Bad             float64    `json:"bad_total"`
+	Total           float64    `json:"events_total"`
+	Windows         SLOWindows `json:"windows"`
+	LastChangeS     float64    `json:"last_change_s,omitempty"`
+	Transitions     uint64     `json:"transitions"`
+}
+
+// sloSample anchors cumulative counts at one instant of simulated time.
+type sloSample struct {
+	t, bad, total float64
+}
+
+// sloRingCap bounds each objective's anchor ring. When full the ring
+// compacts by dropping every other sample and doubling its stride, so a 3-day
+// window at 1 Hz still spans fully at ~2-minute resolution.
+const sloRingCap = 2048
+
+type sloObjective struct {
+	cfg     SLOObjective
+	samples []sloSample
+	stride  int
+	tick    int
+	status  SLOObjectiveStatus
+	state   SLOState
+}
+
+// push anchors the current cumulative counts, decimating once per stride.
+func (o *sloObjective) push(now, bad, total float64) {
+	o.tick++
+	if o.tick%o.stride != 0 {
+		return
+	}
+	if len(o.samples) == sloRingCap {
+		keep := o.samples[:0]
+		for i := 0; i < sloRingCap; i += 2 {
+			keep = append(keep, o.samples[i])
+		}
+		o.samples = keep
+		o.stride *= 2
+	}
+	o.samples = append(o.samples, sloSample{t: now, bad: bad, total: total})
+}
+
+// anchor returns the cumulative counts at (or just before) time t. Windows
+// reaching past retention truncate to the oldest anchor.
+func (o *sloObjective) anchor(t float64) (sloSample, bool) {
+	if len(o.samples) == 0 {
+		return sloSample{}, false
+	}
+	// First anchor newer than t; the one before it is the window start.
+	i := sort.Search(len(o.samples), func(i int) bool { return o.samples[i].t > t })
+	if i == 0 {
+		return o.samples[0], true
+	}
+	return o.samples[i-1], true
+}
+
+// burn is the burn rate over the window ending now: the observed bad
+// fraction across the window divided by the error budget.
+func (o *sloObjective) burn(now, window, bad, total float64) float64 {
+	a, ok := o.anchor(now - window)
+	if !ok {
+		return 0
+	}
+	dTotal := total - a.total
+	if dTotal <= 0 {
+		return 0
+	}
+	dBad := bad - a.bad
+	if dBad < 0 {
+		dBad = 0
+	}
+	return dBad / dTotal / o.cfg.Budget
+}
+
+// SLO evaluates a set of objectives on a shared clock. Evaluate is driven by
+// the engine's advance tick; Snapshot/WriteMetrics/Handler serve concurrent
+// readers. OverallState is lock-free for hot-path stamping.
+type SLO struct {
+	mu      sync.Mutex
+	objs    []*sloObjective
+	onTrans func(SLOTransition)
+	overall atomic.Int32
+	evals   atomic.Uint64
+	simNow  float64
+}
+
+// NewSLO builds an evaluator over the given objectives. Zero-valued windows
+// and thresholds take the SRE defaults; a non-positive budget defaults to
+// 1% (99%).
+func NewSLO(objs []SLOObjective) *SLO {
+	s := &SLO{}
+	def := DefaultSLOWindows()
+	for _, cfg := range objs {
+		if cfg.Budget <= 0 || cfg.Budget >= 1 {
+			cfg.Budget = 0.01
+		}
+		w := &cfg.Windows
+		if w.FastShort <= 0 {
+			w.FastShort = def.FastShort
+		}
+		if w.FastLong <= 0 {
+			w.FastLong = def.FastLong
+		}
+		if w.SlowShort <= 0 {
+			w.SlowShort = def.SlowShort
+		}
+		if w.SlowLong <= 0 {
+			w.SlowLong = def.SlowLong
+		}
+		if w.FastBurn <= 0 {
+			w.FastBurn = def.FastBurn
+		}
+		if w.SlowBurn <= 0 {
+			w.SlowBurn = def.SlowBurn
+		}
+		o := &sloObjective{cfg: cfg, stride: 1}
+		o.status = SLOObjectiveStatus{
+			Name: cfg.Name, Help: cfg.Help, Budget: cfg.Budget,
+			State: SLOOk.String(), BudgetRemaining: 1, Windows: cfg.Windows,
+		}
+		s.objs = append(s.objs, o)
+	}
+	return s
+}
+
+// OnTransition registers the alert-transition callback (the engine wires it
+// to the obs.alerts bus topic). Call before the first Evaluate; the callback
+// runs on the evaluating goroutine with the SLO lock held, so it must not
+// call back into Snapshot.
+func (s *SLO) OnTransition(fn func(SLOTransition)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onTrans = fn
+}
+
+// Evaluate samples every objective's source at simulated time now and
+// re-judges the multi-window rules, firing transitions on state changes.
+// Cheap (a few scans over decimated anchors per objective); intended to run
+// once per engine advance tick, off the request path.
+func (s *SLO) Evaluate(now float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.simNow = now
+	worst := SLOOk
+	for _, o := range s.objs {
+		bad, total := o.cfg.Source()
+		if math.IsNaN(bad) || math.IsNaN(total) {
+			bad, total = 0, 0
+		}
+		o.push(now, bad, total)
+		w := o.cfg.Windows
+		st := &o.status
+		st.BurnFastShort = o.burn(now, w.FastShort, bad, total)
+		st.BurnFastLong = o.burn(now, w.FastLong, bad, total)
+		st.BurnSlowShort = o.burn(now, w.SlowShort, bad, total)
+		st.BurnSlowLong = o.burn(now, w.SlowLong, bad, total)
+		st.Bad, st.Total = bad, total
+		// Budget remaining over the slow-long (budget-period) window: 1 at
+		// zero burn, 0 once the window's worth of budget is gone.
+		st.BudgetRemaining = 1 - st.BurnSlowLong
+		if st.BudgetRemaining < 0 {
+			st.BudgetRemaining = 0
+		}
+		next := SLOOk
+		if st.BurnSlowShort >= w.SlowBurn && st.BurnSlowLong >= w.SlowBurn {
+			next = SLOWarn
+		}
+		if st.BurnFastShort >= w.FastBurn && st.BurnFastLong >= w.FastBurn {
+			next = SLOPage
+		}
+		if next != o.state {
+			tr := SLOTransition{
+				Objective: o.cfg.Name,
+				From:      o.state.String(),
+				To:        next.String(),
+				FastBurn:  st.BurnFastShort,
+				SlowBurn:  st.BurnSlowShort,
+				BudgetRem: st.BudgetRemaining,
+				SimTime:   now,
+			}
+			o.state = next
+			st.State = next.String()
+			st.LastChangeS = now
+			st.Transitions++
+			if s.onTrans != nil {
+				s.onTrans(tr)
+			}
+		}
+		if o.state > worst {
+			worst = o.state
+		}
+	}
+	s.overall.Store(int32(worst))
+	s.evals.Add(1)
+}
+
+// OverallState returns the worst objective state, lock-free — safe to stamp
+// into per-decision records on the hot path.
+func (s *SLO) OverallState() SLOState { return SLOState(s.overall.Load()) }
+
+// Snapshot returns the overall state and every objective's status.
+func (s *SLO) Snapshot() (overall SLOState, objs []SLOObjectiveStatus) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	objs = make([]SLOObjectiveStatus, len(s.objs))
+	for i, o := range s.objs {
+		objs[i] = o.status
+	}
+	return SLOState(s.overall.Load()), objs
+}
+
+type sloPayload struct {
+	SimTime    float64              `json:"sim_time_s"`
+	Evals      uint64               `json:"evaluations"`
+	Overall    string               `json:"overall"`
+	Objectives []SLOObjectiveStatus `json:"objectives"`
+}
+
+// Handler serves the /debug/slo endpoint: the overall verdict plus every
+// objective's burn rates, budget remaining, and alert state as JSON.
+// ?limit=N keeps only the first N objectives.
+func (s *SLO) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		overall, objs := s.Snapshot()
+		if n, ok := parseLimit(r); ok && n < len(objs) {
+			objs = objs[:n]
+		}
+		s.mu.Lock()
+		simNow := s.simNow
+		s.mu.Unlock()
+		writeJSON(w, sloPayload{
+			SimTime: simNow, Evals: s.evals.Load(),
+			Overall: overall.String(), Objectives: objs,
+		})
+	})
+}
+
+// WriteMetrics renders the adrias_slo_* series: per-objective state, burn
+// rates over the fast/slow short windows, budget remaining, and transition
+// counts.
+func (s *SLO) WriteMetrics(w io.Writer) {
+	_, objs := s.Snapshot()
+	writeObjGauge := func(name, help string, val func(SLOObjectiveStatus) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, o := range objs {
+			fmt.Fprintf(w, "%s{objective=%q} %g\n", name, o.Name, val(o))
+		}
+	}
+	writeObjGauge("adrias_slo_state", "Objective alert state: 0 ok, 1 warn, 2 page.",
+		func(o SLOObjectiveStatus) float64 {
+			switch o.State {
+			case "page":
+				return 2
+			case "warn":
+				return 1
+			}
+			return 0
+		})
+	writeObjGauge("adrias_slo_burn_rate_fast", "Burn rate over the fast-short window.",
+		func(o SLOObjectiveStatus) float64 { return o.BurnFastShort })
+	writeObjGauge("adrias_slo_burn_rate_slow", "Burn rate over the slow-short window.",
+		func(o SLOObjectiveStatus) float64 { return o.BurnSlowShort })
+	writeObjGauge("adrias_slo_budget_remaining", "Error budget left over the slow-long window (1 = untouched).",
+		func(o SLOObjectiveStatus) float64 { return o.BudgetRemaining })
+	fmt.Fprintf(w, "# HELP adrias_slo_transitions_total Alert state transitions per objective.\n")
+	fmt.Fprintf(w, "# TYPE adrias_slo_transitions_total counter\n")
+	for _, o := range objs {
+		fmt.Fprintf(w, "adrias_slo_transitions_total{objective=%q} %d\n", o.Name, o.Transitions)
+	}
+	WriteCounter(w, "adrias_slo_evaluations_total", "SLO evaluation ticks.", s.evals.Load())
+}
+
+// SLOSpec carries one objective's -slo-spec overrides. NaN marks an unset
+// field (the compiled default stands).
+type SLOSpec struct {
+	Budget    float64
+	Thresh    float64 // objective-specific threshold, seconds (latency objectives)
+	FastShort float64
+	FastLong  float64
+	FastBurn  float64
+	SlowShort float64
+	SlowLong  float64
+	SlowBurn  float64
+}
+
+func unsetSLOSpec() SLOSpec {
+	nan := math.NaN()
+	return SLOSpec{Budget: nan, Thresh: nan, FastShort: nan, FastLong: nan,
+		FastBurn: nan, SlowShort: nan, SlowLong: nan, SlowBurn: nan}
+}
+
+// Apply overlays the spec's set fields onto an objective's budget and
+// windows.
+func (sp SLOSpec) Apply(o *SLOObjective) {
+	if !math.IsNaN(sp.Budget) {
+		o.Budget = sp.Budget
+	}
+	if !math.IsNaN(sp.FastShort) {
+		o.Windows.FastShort = sp.FastShort
+	}
+	if !math.IsNaN(sp.FastLong) {
+		o.Windows.FastLong = sp.FastLong
+	}
+	if !math.IsNaN(sp.FastBurn) {
+		o.Windows.FastBurn = sp.FastBurn
+	}
+	if !math.IsNaN(sp.SlowShort) {
+		o.Windows.SlowShort = sp.SlowShort
+	}
+	if !math.IsNaN(sp.SlowLong) {
+		o.Windows.SlowLong = sp.SlowLong
+	}
+	if !math.IsNaN(sp.SlowBurn) {
+		o.Windows.SlowBurn = sp.SlowBurn
+	}
+}
+
+// ParseSLOSpec parses a -slo-spec override string:
+//
+//	name:budget=0.05,fast=15/60@2,slow=120/480@1,thresh=0.1;name2:...
+//
+// Semicolons separate objectives; an objective is a name, a colon, and
+// comma-separated key=value settings. fast/slow take short/long window
+// lengths in simulated seconds with the burn threshold after @. Unknown
+// names are allowed (the consumer matches by name); unknown keys are errors.
+func ParseSLOSpec(s string) (map[string]SLOSpec, error) {
+	out := make(map[string]SLOSpec)
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, ":")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("obs: slo spec %q: want name:key=value[,...]", part)
+		}
+		spec := unsetSLOSpec()
+		for _, kv := range strings.Split(rest, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("obs: slo spec %q: setting %q is not key=value", part, kv)
+			}
+			switch key {
+			case "budget", "thresh":
+				f, err := strconv.ParseFloat(val, 64)
+				if err != nil || f <= 0 {
+					return nil, fmt.Errorf("obs: slo spec %q: bad %s %q", part, key, val)
+				}
+				if key == "budget" {
+					if f >= 1 {
+						return nil, fmt.Errorf("obs: slo spec %q: budget %q must be < 1", part, val)
+					}
+					spec.Budget = f
+				} else {
+					spec.Thresh = f
+				}
+			case "fast", "slow":
+				short, long, burn, err := parseWindowRule(val)
+				if err != nil {
+					return nil, fmt.Errorf("obs: slo spec %q: %s: %v", part, key, err)
+				}
+				if key == "fast" {
+					spec.FastShort, spec.FastLong, spec.FastBurn = short, long, burn
+				} else {
+					spec.SlowShort, spec.SlowLong, spec.SlowBurn = short, long, burn
+				}
+			default:
+				return nil, fmt.Errorf("obs: slo spec %q: unknown key %q", part, key)
+			}
+		}
+		out[name] = spec
+	}
+	return out, nil
+}
+
+// parseWindowRule parses "short/long@burn" (simulated seconds, burn > 0).
+func parseWindowRule(s string) (short, long, burn float64, err error) {
+	windows, burnStr, ok := strings.Cut(s, "@")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("want short/long@burn, got %q", s)
+	}
+	shortStr, longStr, ok := strings.Cut(windows, "/")
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("want short/long@burn, got %q", s)
+	}
+	if short, err = strconv.ParseFloat(shortStr, 64); err != nil || short <= 0 {
+		return 0, 0, 0, fmt.Errorf("bad short window %q", shortStr)
+	}
+	if long, err = strconv.ParseFloat(longStr, 64); err != nil || long < short {
+		return 0, 0, 0, fmt.Errorf("bad long window %q (must be ≥ short)", longStr)
+	}
+	if burn, err = strconv.ParseFloat(burnStr, 64); err != nil || burn <= 0 {
+		return 0, 0, 0, fmt.Errorf("bad burn threshold %q", burnStr)
+	}
+	return short, long, burn, nil
+}

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// sloCounter is a scripted cumulative (bad, total) source.
+type sloCounter struct{ bad, total float64 }
+
+func (c *sloCounter) source() (float64, float64) { return c.bad, c.total }
+
+// testObjective: 10% budget, fast page at burn 2 over 5s/20s, slow warn at
+// burn 1 over 30s/120s — small windows so tests drive full alert lifecycles
+// in a few hundred simulated seconds.
+func testObjective(src func() (float64, float64)) SLOObjective {
+	return SLOObjective{
+		Name:   "test",
+		Budget: 0.1,
+		Windows: SLOWindows{
+			FastShort: 5, FastLong: 20, FastBurn: 2,
+			SlowShort: 30, SlowLong: 120, SlowBurn: 1,
+		},
+		Source: src,
+	}
+}
+
+func TestSLOBurnRateMath(t *testing.T) {
+	c := &sloCounter{}
+	obj := SLOObjective{
+		Name: "math", Budget: 0.5,
+		Windows: SLOWindows{FastShort: 10, FastLong: 10, FastBurn: 100,
+			SlowShort: 10, SlowLong: 10, SlowBurn: 100},
+		Source: c.source,
+	}
+	s := NewSLO([]SLOObjective{obj})
+	s.Evaluate(0) // anchor at zero
+	c.bad, c.total = 5, 10
+	s.Evaluate(10)
+	_, objs := s.Snapshot()
+	// Bad fraction over the window is 5/10 = 0.5; burn = 0.5/0.5 = 1.
+	if got := objs[0].BurnFastShort; math.Abs(got-1) > 1e-12 {
+		t.Errorf("BurnFastShort = %v, want 1", got)
+	}
+	if got := objs[0].BudgetRemaining; math.Abs(got-0) > 1e-12 {
+		t.Errorf("BudgetRemaining = %v, want 0 (whole window's budget burnt)", got)
+	}
+}
+
+// TestSLOAlertLifecycle drives a full fault cycle on the simulated clock:
+// healthy traffic, a hard fault (every event bad) that must page on both
+// fast windows, then recovery that clears the page and eventually the warn.
+func TestSLOAlertLifecycle(t *testing.T) {
+	c := &sloCounter{}
+	s := NewSLO([]SLOObjective{testObjective(c.source)})
+	var transitions []SLOTransition
+	s.OnTransition(func(tr SLOTransition) { transitions = append(transitions, tr) })
+
+	step := func(from, to int, badPerTick float64) {
+		for now := from; now <= to; now++ {
+			c.total += 10
+			c.bad += badPerTick
+			s.Evaluate(float64(now))
+		}
+	}
+	step(1, 30, 0) // healthy
+	if got := s.OverallState(); got != SLOOk {
+		t.Fatalf("state after healthy phase = %v, want ok", got)
+	}
+	step(31, 60, 10) // hard fault: every event bad
+	if got := s.OverallState(); got != SLOPage {
+		t.Fatalf("state under sustained fault = %v, want page", got)
+	}
+	_, objs := s.Snapshot()
+	if objs[0].BurnFastShort < 2 || objs[0].BurnFastLong < 2 {
+		t.Errorf("paging burn rates %.2f/%.2f below the fast threshold 2",
+			objs[0].BurnFastShort, objs[0].BurnFastLong)
+	}
+	step(61, 300, 0) // recovery
+	if got := s.OverallState(); got != SLOOk {
+		t.Fatalf("state after recovery = %v, want ok", got)
+	}
+
+	if len(transitions) < 2 {
+		t.Fatalf("want at least page+clear transitions, got %v", transitions)
+	}
+	if transitions[0].To != "page" {
+		t.Errorf("first transition = %+v, want To=page", transitions[0])
+	}
+	last := transitions[len(transitions)-1]
+	if last.To != "ok" {
+		t.Errorf("last transition = %+v, want To=ok", last)
+	}
+	_, objs = s.Snapshot()
+	if objs[0].Transitions != uint64(len(transitions)) {
+		t.Errorf("status counts %d transitions, callback saw %d",
+			objs[0].Transitions, len(transitions))
+	}
+}
+
+// TestSLOWarnBeforePageClears: after a fault stops, the fast windows clear
+// quickly while the slow windows still burn — the objective must pass
+// through warn rather than jumping straight to ok.
+func TestSLOWarnAfterPage(t *testing.T) {
+	c := &sloCounter{}
+	s := NewSLO([]SLOObjective{testObjective(c.source)})
+	sawWarn := false
+	s.OnTransition(func(tr SLOTransition) {
+		if tr.To == "warn" && tr.From == "page" {
+			sawWarn = true
+		}
+	})
+	for now := 1; now <= 300; now++ {
+		c.total += 10
+		if now > 30 && now <= 60 {
+			c.bad += 10
+		}
+		s.Evaluate(float64(now))
+	}
+	if !sawWarn {
+		t.Error("objective never passed through warn while the slow windows drained")
+	}
+}
+
+func TestSLODecimation(t *testing.T) {
+	c := &sloCounter{}
+	s := NewSLO([]SLOObjective{testObjective(c.source)})
+	ticks := sloRingCap*2 + 100
+	for now := 1; now <= ticks; now++ {
+		c.total++
+		s.Evaluate(float64(now))
+	}
+	o := s.objs[0]
+	if len(o.samples) > sloRingCap {
+		t.Errorf("ring grew to %d samples, cap is %d", len(o.samples), sloRingCap)
+	}
+	if o.stride < 2 {
+		t.Errorf("stride = %d after %d ticks, want decimation to have doubled it", o.stride, ticks)
+	}
+	// The decimated ring must still span back to (near) the first sample so
+	// long windows anchor correctly.
+	if first := o.samples[0].t; first > float64(ticks)/2 {
+		t.Errorf("oldest retained anchor at t=%v; decimation lost the deep history", first)
+	}
+	if got := s.objs[0].status.BurnSlowLong; got != 0 {
+		t.Errorf("healthy burn over the slow-long window = %v, want 0", got)
+	}
+}
+
+func TestSLODefaults(t *testing.T) {
+	s := NewSLO([]SLOObjective{{Name: "d", Source: func() (float64, float64) { return 0, 0 }}})
+	st := s.objs[0]
+	if st.cfg.Budget != 0.01 {
+		t.Errorf("default budget = %v, want 0.01", st.cfg.Budget)
+	}
+	if st.cfg.Windows != DefaultSLOWindows() {
+		t.Errorf("default windows = %+v, want %+v", st.cfg.Windows, DefaultSLOWindows())
+	}
+}
+
+func TestParseSLOSpec(t *testing.T) {
+	specs, err := ParseSLOSpec("latency:budget=0.05,fast=15/60@2,slow=120/480@1,thresh=0.1; other:budget=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, ok := specs["latency"]
+	if !ok {
+		t.Fatal("latency spec missing")
+	}
+	if sp.Budget != 0.05 || sp.Thresh != 0.1 {
+		t.Errorf("budget/thresh = %v/%v, want 0.05/0.1", sp.Budget, sp.Thresh)
+	}
+	if sp.FastShort != 15 || sp.FastLong != 60 || sp.FastBurn != 2 {
+		t.Errorf("fast rule = %v/%v@%v, want 15/60@2", sp.FastShort, sp.FastLong, sp.FastBurn)
+	}
+	if sp.SlowShort != 120 || sp.SlowLong != 480 || sp.SlowBurn != 1 {
+		t.Errorf("slow rule = %v/%v@%v, want 120/480@1", sp.SlowShort, sp.SlowLong, sp.SlowBurn)
+	}
+	other := specs["other"]
+	if other.Budget != 0.2 || !math.IsNaN(other.FastShort) || !math.IsNaN(other.Thresh) {
+		t.Errorf("unset fields must stay NaN: %+v", other)
+	}
+
+	obj := SLOObjective{Budget: 0.01, Windows: DefaultSLOWindows()}
+	sp.Apply(&obj)
+	if obj.Budget != 0.05 || obj.Windows.FastShort != 15 || obj.Windows.SlowBurn != 1 {
+		t.Errorf("Apply left %+v", obj)
+	}
+	if obj.Windows.SlowLong != 480 {
+		t.Errorf("Apply missed SlowLong: %v", obj.Windows.SlowLong)
+	}
+}
+
+func TestParseSLOSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"noclon",                 // missing colon
+		"x:budget",               // not key=value
+		"x:budget=2",             // budget ≥ 1
+		"x:budget=-1",            // non-positive
+		"x:thresh=0",             // non-positive thresh
+		"x:fast=60@2",            // missing short/long
+		"x:fast=60/15@2",         // long < short
+		"x:fast=15/60",           // missing burn
+		"x:fast=15/60@0",         // non-positive burn
+		"x:unknown=1",            // unknown key
+		"x:fast=abc/60@2",        // unparsable short
+		"latency:budget=0.05,=1", // empty key
+	} {
+		if _, err := ParseSLOSpec(bad); err == nil {
+			t.Errorf("ParseSLOSpec(%q) accepted, want error", bad)
+		}
+	}
+	// Empty segments are tolerated (trailing semicolons).
+	if specs, err := ParseSLOSpec(" ; "); err != nil || len(specs) != 0 {
+		t.Errorf("blank spec → (%v, %v), want empty map", specs, err)
+	}
+}
+
+func TestSLOHandler(t *testing.T) {
+	c := &sloCounter{}
+	s := NewSLO([]SLOObjective{
+		testObjective(c.source),
+		{Name: "second", Budget: 0.5, Source: c.source},
+	})
+	c.bad, c.total = 1, 100
+	s.Evaluate(5)
+
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/slo", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var p struct {
+		SimTime    float64              `json:"sim_time_s"`
+		Evals      uint64               `json:"evaluations"`
+		Overall    string               `json:"overall"`
+		Objectives []SLOObjectiveStatus `json:"objectives"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.SimTime != 5 || p.Evals != 1 || p.Overall != "ok" || len(p.Objectives) != 2 {
+		t.Errorf("payload = %+v", p)
+	}
+	if p.Objectives[0].Name != "test" || p.Objectives[0].Total != 100 {
+		t.Errorf("objective[0] = %+v", p.Objectives[0])
+	}
+
+	rr = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/slo?limit=1", nil))
+	if err := json.Unmarshal(rr.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Objectives) != 1 {
+		t.Errorf("limit=1 kept %d objectives", len(p.Objectives))
+	}
+}
+
+func TestSLOWriteMetrics(t *testing.T) {
+	c := &sloCounter{}
+	s := NewSLO([]SLOObjective{testObjective(c.source)})
+	for now := 1; now <= 40; now++ {
+		c.bad += 10
+		c.total += 10
+		s.Evaluate(float64(now))
+	}
+	r := NewRegistry()
+	r.MustRegister("adrias_slo", CollectorFunc(s.WriteMetrics))
+	rr := httptest.NewRecorder()
+	r.WritePrometheus(rr)
+	body := rr.Body.String()
+	for _, want := range []string{
+		`adrias_slo_state{objective="test"} 2`, // paging
+		`adrias_slo_burn_rate_fast{objective="test"}`,
+		`adrias_slo_burn_rate_slow{objective="test"}`,
+		`adrias_slo_budget_remaining{objective="test"} 0`,
+		`adrias_slo_transitions_total{objective="test"} 1`,
+		"adrias_slo_evaluations_total 40",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}

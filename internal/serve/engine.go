@@ -83,6 +83,11 @@ type EngineConfig struct {
 	// interference mix for exercising the learning loop (0: no ramp).
 	AmbientRampTo  float64
 	AmbientRampSec float64
+	// Events, when set, receives one wide event per committed (non-dry-run)
+	// admission plus, with Learn on, one realized-outcome event per joined
+	// completion. Dry runs never reach it — the zero-alloc hot path is
+	// unaffected (DESIGN.md §15).
+	Events *obs.EventSink
 }
 
 func (c EngineConfig) withDefaults(histTicks int) EngineConfig {
@@ -168,6 +173,20 @@ type SystemEngine struct {
 	// the fault injector and the breaker consult it from paths that may or
 	// may not already hold mu.
 	simNow atomic.Uint64
+
+	// slo is the attached SLO evaluator (AttachSLO; nil pointer until then).
+	// Atomic because shard dry-run finalizers stamp the overall state into
+	// audit records without the engine lock. events is fixed at construction.
+	slo    atomic.Pointer[obs.SLO]
+	events *obs.EventSink
+	// Cumulative decision counters feeding the SLO objective sources; the
+	// tick counters track Advance calls and how many of them saw the breaker
+	// not closed (breaker-open-time objective).
+	sloDecisions   atomic.Uint64
+	sloDowngrades  atomic.Uint64
+	sloPredictErrs atomic.Uint64
+	sloTicks       atomic.Uint64
+	sloBreakerOpen atomic.Uint64
 }
 
 // SimNow returns the testbed's simulated time without taking the engine
@@ -195,14 +214,15 @@ func NewSystemEngine(pred *core.Predictor, watch *core.Watcher, reg *workload.Re
 	}
 
 	e := &SystemEngine{
-		orch:  core.NewOrchestrator(pred, watch, cfg.Beta),
-		watch: watch,
-		reg:   reg,
-		cl:    nodes[0],
-		nodes: nodes,
-		sigs:  NewSignatureCache(pred.Sigs, cfg.NegSigTTL),
-		rng:   randutil.New(cfg.Seed).Split(0x5e7),
-		cfg:   cfg,
+		orch:   core.NewOrchestrator(pred, watch, cfg.Beta),
+		watch:  watch,
+		reg:    reg,
+		cl:     nodes[0],
+		nodes:  nodes,
+		sigs:   NewSignatureCache(pred.Sigs, cfg.NegSigTTL),
+		rng:    randutil.New(cfg.Seed).Split(0x5e7),
+		cfg:    cfg,
+		events: cfg.Events,
 	}
 	if cfg.QoSFactor > 0 {
 		for _, p := range reg.LC() {
@@ -250,6 +270,7 @@ func NewSystemEngine(pred *core.Predictor, watch *core.Watcher, reg *workload.Re
 			QoSMs:     e.orch.QoSMs,
 			SimNow:    e.SimNow,
 			OnSwap:    e.recordSwap,
+			OnOutcome: e.recordOutcome,
 		})
 	}
 	e.orch.FabricDegraded = e.cl.Node().Fabric().Degraded
@@ -375,6 +396,90 @@ func (e *SystemEngine) recordSwap(ev learn.SwapEvent) {
 	}
 }
 
+// recordOutcome emits the wide "outcome" event for one realized completion
+// the learning loop joined back to its decision — the realized half of the
+// admission record, joinable by trace ID. Called by the loop under the
+// engine lock.
+func (e *SystemEngine) recordOutcome(o learn.Outcome) {
+	if e.events == nil {
+		return
+	}
+	tier := memsys.TierLocal
+	if o.Remote == 1 {
+		tier = memsys.TierRemote
+	}
+	e.events.Record(obs.WideEvent{
+		Kind:       "outcome",
+		TraceID:    o.TraceID,
+		Time:       time.Now(),
+		SimTime:    o.SimTime,
+		App:        o.App,
+		Class:      o.Class.String(),
+		Tier:       tier.String(),
+		PredLocalS: o.PredLive,
+		RealizedS:  o.Realized,
+		ModelGen:   o.Gen,
+		SLOState:   e.sloStateLabel(),
+	})
+}
+
+// AttachSLO arms SLO evaluation: Evaluate runs once per Advance tick on the
+// engine's lock context, alert transitions are audited and published on the
+// obs.alerts bus topic, and the overall state is stamped into every
+// decision record and wide event from then on. Attach before serving.
+func (e *SystemEngine) AttachSLO(s *obs.SLO) {
+	s.OnTransition(func(tr obs.SLOTransition) {
+		if e.audit != nil {
+			e.audit.Record(obs.DecisionRecord{
+				Time:     time.Now(),
+				SimTime:  tr.SimTime,
+				App:      "-",
+				Class:    "-",
+				Tier:     "-",
+				Reason:   "slo-" + tr.To,
+				Event:    "slo-alert",
+				SLOState: tr.To,
+			})
+		}
+		if e.cfg.Bus != nil {
+			_, _ = e.cfg.Bus.Publish("obs.alerts", tr)
+		}
+	})
+	e.slo.Store(s)
+}
+
+// SLO returns the attached evaluator (nil before AttachSLO).
+func (e *SystemEngine) SLO() *obs.SLO { return e.slo.Load() }
+
+// sloStateLabel returns the overall SLO state as a constant string for
+// stamping into records — "" before AttachSLO, so the hot path pays one
+// atomic load and no allocation.
+func (e *SystemEngine) sloStateLabel() string {
+	if s := e.slo.Load(); s != nil {
+		return s.OverallState().String()
+	}
+	return ""
+}
+
+// countDecision feeds one decision's reason into the cumulative SLO
+// counters. Lock-free; called on every decided placement, dry-run or not.
+func (e *SystemEngine) countDecision(reason string) {
+	e.sloDecisions.Add(1)
+	if core.IsDowngradeReason(reason) {
+		e.sloDowngrades.Add(1)
+	}
+	if core.IsPredictFailureReason(reason) {
+		e.sloPredictErrs.Add(1)
+	}
+}
+
+// SLOCounters returns the cumulative decision/downgrade/predict-failure and
+// tick/breaker-open counts backing the SLO objective sources.
+func (e *SystemEngine) SLOCounters() (decisions, downgrades, predictErrs, ticks, breakerOpen uint64) {
+	return e.sloDecisions.Load(), e.sloDowngrades.Load(), e.sloPredictErrs.Load(),
+		e.sloTicks.Load(), e.sloBreakerOpen.Load()
+}
+
 // decisionEvent is the bus payload for one placement decision — the
 // adriasd wire shape plus the trace ID and decision reason.
 type decisionEvent struct {
@@ -453,6 +558,7 @@ func (e *SystemEngine) PlaceBatchInto(ctx context.Context, reqs []PlaceRequest, 
 	}
 	place := e.batPlace[:0]
 	deployed := false
+	sloState := e.sloStateLabel()
 	for k, i := range idx {
 		d := ds[k]
 		results[i].Tier = d.Tier
@@ -462,6 +568,7 @@ func (e *SystemEngine) PlaceBatchInto(ctx context.Context, reqs []PlaceRequest, 
 		results[i].ColdStart = d.ColdStart
 		results[i].Fallback = d.Fallback
 		results[i].Reason = d.Reason
+		e.countDecision(d.Reason)
 		if !reqs[i].DryRun {
 			deployed = true
 			in := e.cl.Deploy(profiles[k], d.Tier)
@@ -475,6 +582,32 @@ func (e *SystemEngine) PlaceBatchInto(ctx context.Context, reqs []PlaceRequest, 
 					Tier:      in.Tier,
 					PredLocal: d.PredLocal,
 					PredRem:   d.PredRem,
+				})
+			}
+			if e.events != nil {
+				// The wide event records what actually committed: Deploy may
+				// fall back on capacity, so prefer the instance's tier.
+				tier := d.Tier
+				if in != nil {
+					tier = in.Tier
+				}
+				e.events.Record(obs.WideEvent{
+					Kind:        "admission",
+					TraceID:     reqs[i].TraceID,
+					Time:        now,
+					SimTime:     e.cl.Now(),
+					App:         d.App,
+					Class:       d.Class.String(),
+					Tier:        tier.String(),
+					Node:        d.Node,
+					Reason:      d.Reason,
+					PredLocalS:  d.PredLocal,
+					PredRemoteS: d.PredRem,
+					ColdStart:   d.ColdStart,
+					Fallback:    d.Fallback,
+					BatchSize:   len(profiles),
+					ModelGen:    modelGen,
+					SLOState:    sloState,
 				})
 			}
 		}
@@ -496,6 +629,7 @@ func (e *SystemEngine) PlaceBatchInto(ctx context.Context, reqs []PlaceRequest, 
 				Reason:      d.Reason,
 				BatchSize:   len(profiles),
 				ModelGen:    modelGen,
+				SLOState:    sloState,
 			})
 		}
 		if e.cfg.Bus != nil {
@@ -589,6 +723,16 @@ func (e *SystemEngine) Advance(simSec float64) {
 	}
 	if e.learner != nil {
 		e.learner.Poll(e.cl.Now())
+	}
+	// SLO evaluation rides the existing tick — no goroutine of its own, and
+	// never on the request path. Breaker-open time is tick-sampled here so
+	// the objective sees open windows even when no requests arrive.
+	e.sloTicks.Add(1)
+	if e.brk != nil && e.brk.State() != faults.Closed {
+		e.sloBreakerOpen.Add(1)
+	}
+	if s := e.slo.Load(); s != nil {
+		s.Evaluate(e.cl.Now())
 	}
 }
 
@@ -711,6 +855,9 @@ func (e *SystemEngine) RegisterMetrics(m *Metrics) {
 		obs.WriteCounter(w, "adrias_serve_commit_downgrades_total", "Conflict losers downgraded to the safe local tier (reason commit-conflict).", e.downgrades.Load())
 		obs.WriteCounter(w, "adrias_serve_retry_dropped_total", "Conflict losers evicted from the full retry ring.", e.retryDrops.Load())
 		obs.WriteCounter(w, "adrias_serve_shard_decisions_total", "Placement decisions made by replica shards.", e.shardDecisions.Load())
+		obs.WriteCounter(w, "adrias_serve_decisions_total", "Placement decisions across all paths (engine + shards, dry runs included).", e.sloDecisions.Load())
+		obs.WriteCounter(w, "adrias_serve_downgrades_total", "Decisions downgraded to safe local by capacity, fabric, or commit pressure.", e.sloDowngrades.Load())
+		obs.WriteCounter(w, "adrias_serve_predict_failures_total", "Decisions produced by a failed or short-circuited prediction path.", e.sloPredictErrs.Load())
 		if v := e.view.Load(); v != nil {
 			writeNodeGauge := func(name, help string, val func(cluster.NodeOccupancy) float64) {
 				fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)

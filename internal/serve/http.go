@@ -74,6 +74,8 @@ type HealthSource interface {
 //	GET  /metrics         — Prometheus text exposition (whole registry)
 //	GET  /debug/traces    — retained request traces + stage percentiles
 //	GET  /debug/decisions — placement audit log
+//	GET  /debug/slo       — SLO burn rates and alert states (when attached)
+//	GET  /debug/events    — wide-event admission log (when attached)
 //
 // Error mapping: unknown app → 400, queue full → 429 (with Retry-After),
 // deadline exceeded → 504, draining → 503.
@@ -189,6 +191,12 @@ func NewHandler(svc *Service, health HealthSource) http.Handler {
 	})
 	mux.Handle("GET /debug/traces", svc.Telemetry().Tracer.Handler())
 	mux.Handle("GET /debug/decisions", svc.Telemetry().Audit.Handler())
+	if slo := svc.Telemetry().SLO; slo != nil {
+		mux.Handle("GET /debug/slo", slo.Handler())
+	}
+	if sink := svc.Telemetry().Events; sink != nil {
+		mux.Handle("GET /debug/events", sink.Handler())
+	}
 	return mux
 }
 

@@ -2,11 +2,12 @@ package serve
 
 import (
 	"io"
-	"log/slog"
 	"math"
 	"strconv"
 	"sync"
 	"unicode/utf8"
+
+	"adrias/internal/obs"
 )
 
 // Hand-rolled JSON for the placement hot path. The HTTP handler's steady
@@ -89,7 +90,7 @@ func (t *internTable) intern(b []byte) string {
 	} else {
 		t.fullSkips++
 		t.warnOnce.Do(func() {
-			slog.Warn("serve: app-name intern table full; new names now allocate per request",
+			obs.Logger("serve").Warn("app-name intern table full; new names now allocate per request",
 				"capacity", t.cap, "name", s)
 		})
 	}

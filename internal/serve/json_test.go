@@ -11,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"adrias/internal/obs"
 )
 
 func stdlibEncode(tb testing.TB, v any) []byte {
@@ -329,11 +331,22 @@ func (f *hotPathFixture) run(tb testing.TB, ctx context.Context) {
 }
 
 // TestServeHotPathZeroAlloc is the PR's headline invariant: the quantized
-// decode→decide→encode path allocates nothing in steady state.
+// decode→decide→encode path allocates nothing in steady state — with the
+// SLO engine attached and the wide-event sink armed. Decisions are counted
+// toward the SLO sources on this path; wide events record only at commit,
+// so the dry-run loop must stay allocation-free.
 func TestServeHotPathZeroAlloc(t *testing.T) {
-	f := newHotPathFixture(t, true)
+	f := newHotPathFixtureCfg(t, EngineConfig{
+		Seed: 21, Quantized: true, Events: obs.NewEventSink(64, 1, nil),
+	})
+	slo, err := BuildSLO(SLOConfig{}, NewMetrics(), f.eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.eng.AttachSLO(slo)
 	ctx := context.Background()
-	f.run(t, ctx) // warm arenas, signature cache, intern table, decision ring
+	f.eng.Advance(1) // one SLO evaluation so the armed state is live
+	f.run(t, ctx)    // warm arenas, signature cache, intern table, decision ring
 	for i, r := range f.results {
 		if r.Err != nil || r.Tier.String() == "" {
 			t.Fatalf("result %d unusable: %+v", i, r)
@@ -363,3 +376,27 @@ func BenchmarkServeHotPathFloatB8(b *testing.B) { benchServeHotPath(b, false) }
 // BenchmarkServeHotPathQuantB8 is the gated path: bench-gate requires 0
 // allocs/op and ≥1.5× the float baseline's throughput.
 func BenchmarkServeHotPathQuantB8(b *testing.B) { benchServeHotPath(b, true) }
+
+// BenchmarkServeHotPathQuantB8Events is the armed-observability variant of
+// the gated path: SLO engine attached (every decision feeds its sources)
+// and the wide-event sink in place. bench-gate holds its cost within 5% of
+// QuantB8 and still requires 0 allocs/op.
+func BenchmarkServeHotPathQuantB8Events(b *testing.B) {
+	f := newHotPathFixtureCfg(b, EngineConfig{
+		Seed: 21, Quantized: true, Events: obs.NewEventSink(256, 1, nil),
+	})
+	slo, err := BuildSLO(SLOConfig{}, NewMetrics(), f.eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.eng.AttachSLO(slo)
+	ctx := context.Background()
+	f.eng.Advance(1)
+	f.run(b, ctx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		f.run(b, ctx)
+	}
+	b.ReportMetric(float64(len(f.reqs))*float64(b.N)/b.Elapsed().Seconds(), "placements/s")
+}

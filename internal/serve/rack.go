@@ -397,11 +397,33 @@ func (e *SystemEngine) downgradeLocal(it *retryItem) {
 }
 
 // finalizeItemLocked publishes a committed claim: result slot, audit log,
-// bus, then the done close that releases the owning shard. Called under mu.
+// bus, wide event, then the done close that releases the owning shard.
+// Called under mu — only for real commits, so the wide-event record here
+// mirrors the engine path's emitted-at-deploy rule.
 func (e *SystemEngine) finalizeItemLocked(it *retryItem) {
 	finalizeResult(it.res, it.d)
 	e.shardDecisions.Add(1)
 	e.auditShardDecision(it.traceID, it.d, it.batch)
+	if e.events != nil {
+		d := it.d
+		e.events.Record(obs.WideEvent{
+			Kind:        "admission",
+			TraceID:     it.traceID,
+			Time:        time.Now(),
+			SimTime:     e.SimNow(),
+			App:         d.App,
+			Class:       d.Class.String(),
+			Tier:        d.Tier.String(),
+			Node:        d.Node,
+			Reason:      d.Reason,
+			PredLocalS:  d.PredLocal,
+			PredRemoteS: d.PredRem,
+			ColdStart:   d.ColdStart,
+			Fallback:    d.Fallback,
+			BatchSize:   it.batch,
+			SLOState:    e.sloStateLabel(),
+		})
+	}
 	close(it.done)
 }
 
@@ -417,10 +439,11 @@ func finalizeResult(r *PlaceResult, d core.Decision) {
 	r.Reason = d.Reason
 }
 
-// auditShardDecision records one shard decision on the audit log and the
-// bus (both concurrency-safe). Uses the lock-free SimNow mirror so dry-run
-// finalizers need not take the engine lock.
+// auditShardDecision records one shard decision on the audit log, the SLO
+// counters, and the bus (all concurrency-safe). Uses the lock-free SimNow
+// mirror so dry-run finalizers need not take the engine lock.
 func (e *SystemEngine) auditShardDecision(traceID string, d core.Decision, batch int) {
+	e.countDecision(d.Reason)
 	if e.audit != nil {
 		e.audit.Record(obs.DecisionRecord{
 			TraceID:     traceID,
@@ -438,6 +461,7 @@ func (e *SystemEngine) auditShardDecision(traceID string, d core.Decision, batch
 			Fallback:    d.Fallback,
 			Reason:      d.Reason,
 			BatchSize:   batch,
+			SLOState:    e.sloStateLabel(),
 		})
 	}
 	if e.cfg.Bus != nil {

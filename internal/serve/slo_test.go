@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"adrias/internal/bus"
+	"adrias/internal/core"
+	"adrias/internal/faults"
+	"adrias/internal/obs"
+)
+
+// TestBuildSLOCatalog: the default catalog carries the six objectives and
+// rejects specs naming anything outside the closed vocabulary.
+func TestBuildSLOCatalog(t *testing.T) {
+	eng := tinyEngine(t, EngineConfig{Seed: 3})
+	slo, err := BuildSLO(SLOConfig{}, NewMetrics(), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo.Evaluate(1)
+	_, objs := slo.Snapshot()
+	want := []string{SLOAdmissionLatency, SLOQueueWait, SLODowngradeRate,
+		SLOConflictRate, SLOPredictError, SLOBreakerOpen}
+	if len(objs) != len(want) {
+		t.Fatalf("catalog has %d objectives, want %d", len(objs), len(want))
+	}
+	for i, name := range want {
+		if objs[i].Name != name {
+			t.Errorf("objective[%d] = %q, want %q", i, objs[i].Name, name)
+		}
+	}
+
+	if _, err := BuildSLO(SLOConfig{Spec: "no-such-objective:budget=0.1"}, NewMetrics(), eng); err == nil {
+		t.Error("unknown objective name accepted")
+	}
+	if _, err := BuildSLO(SLOConfig{Spec: "downgrade-rate:nonsense"}, NewMetrics(), eng); err == nil {
+		t.Error("malformed spec accepted")
+	}
+
+	// Spec overrides land on the right objective.
+	slo, err = BuildSLO(SLOConfig{Spec: "admission-latency:budget=0.2,thresh=0.05"}, NewMetrics(), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo.Evaluate(1)
+	_, objs = slo.Snapshot()
+	if objs[0].Budget != 0.2 {
+		t.Errorf("budget override not applied: %+v", objs[0])
+	}
+	if !strings.Contains(objs[0].Help, "0.05s") {
+		t.Errorf("thresh override not reflected in help: %q", objs[0].Help)
+	}
+}
+
+// TestSLOChaosPageAndClear is the tentpole's acceptance scenario, run
+// entirely on the simulated clock: a scheduled fabric partition forces
+// remote-leaning placements to downgrade, the downgrade-rate objective must
+// page on the fast windows while the fault holds, the transition must ride
+// the obs.alerts bus topic, /debug/slo must show the burn above threshold —
+// and the alert must clear once the fault lifts and the windows drain.
+func TestSLOChaosPageAndClear(t *testing.T) {
+	spec, err := faults.ParseSpec("fabric-flap@10+30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.NewInjector(spec, 1)
+	b := bus.New()
+	defer b.Close()
+	eng := tinyEngine(t, EngineConfig{Seed: 7, Faults: inj, Bus: b})
+
+	// Tight windows sized to the schedule: page at burn 2 over 5s/20s.
+	// The slow burn threshold is set unreachable so the objective returns
+	// to "ok" (not "warn") once the fast windows drain — the test asserts a
+	// full page→clear cycle.
+	slo, err := BuildSLO(SLOConfig{
+		Spec: "downgrade-rate:budget=0.05,fast=5/20@2,slow=30/60@1000",
+	}, NewMetrics(), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.AttachSLO(slo)
+	alerts, cancel := b.Subscribe("obs.alerts")
+	defer cancel()
+
+	// Drive load + time: one remote-leaning dry-run placement per simulated
+	// second. ibench-membw has no signature, so it cold-starts remote when
+	// healthy and downgrades to local/fabric-degraded during the partition.
+	pagedDuringFault := false
+	sawDegraded := false
+	var pageBurnSeen float64
+	for now := 1; now <= 120; now++ {
+		res := eng.PlaceBatch(context.Background(), []PlaceRequest{{App: "ibench-membw", DryRun: true}})
+		if res[0].Err != nil {
+			t.Fatal(res[0].Err)
+		}
+		eng.Advance(1)
+		if eng.Snapshot().FabricDegraded {
+			sawDegraded = true
+		}
+		if st := slo.OverallState(); st == obs.SLOPage && now <= 40 {
+			pagedDuringFault = true
+			_, objs := slo.Snapshot()
+			for _, o := range objs {
+				if o.Name == SLODowngradeRate && o.BurnFastShort > pageBurnSeen {
+					pageBurnSeen = o.BurnFastShort
+				}
+			}
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("fabric flap never impaired the link — schedule or clock wiring broken")
+	}
+	if !pagedDuringFault {
+		t.Fatal("downgrade-rate never paged during the fabric partition")
+	}
+	if pageBurnSeen < 2 {
+		t.Errorf("paging burn rate %.2f below the fast threshold 2", pageBurnSeen)
+	}
+	if got := slo.OverallState(); got != obs.SLOOk {
+		t.Errorf("state after recovery = %v, want ok", got)
+	}
+
+	// The full lifecycle rode the bus: a transition into page and one back
+	// to ok, both carrying the objective and sim-time context.
+	var toPage, toOK bool
+	for done := false; !done; {
+		select {
+		case m := <-alerts:
+			var tr obs.SLOTransition
+			if err := m.Decode(&tr); err != nil {
+				t.Fatalf("obs.alerts payload: %v", err)
+			}
+			if tr.Objective != SLODowngradeRate {
+				t.Errorf("transition for unexpected objective: %+v", tr)
+			}
+			if tr.SimTime <= 0 {
+				t.Errorf("transition missing sim time: %+v", tr)
+			}
+			switch tr.To {
+			case "page":
+				toPage = true
+			case "ok":
+				toOK = true
+			}
+		default:
+			done = true
+		}
+	}
+	if !toPage || !toOK {
+		t.Errorf("obs.alerts transitions: toPage=%v toOK=%v, want both", toPage, toOK)
+	}
+
+	// /debug/slo reflects the same story: healthy now, with the page
+	// recorded in the objective's transition count.
+	rr := httptest.NewRecorder()
+	slo.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/slo", nil))
+	var payload struct {
+		Overall    string                   `json:"overall"`
+		Objectives []obs.SLOObjectiveStatus `json:"objectives"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Overall != "ok" {
+		t.Errorf("/debug/slo overall = %q after recovery, want ok", payload.Overall)
+	}
+	for _, o := range payload.Objectives {
+		if o.Name == SLODowngradeRate && o.Transitions < 2 {
+			t.Errorf("downgrade-rate shows %d transitions, want the page+clear pair", o.Transitions)
+		}
+	}
+
+	// SLO decision counters agree with what the engine decided.
+	dec, down, _, ticks, _ := eng.SLOCounters()
+	if dec == 0 || down == 0 || ticks < 120 {
+		t.Errorf("SLO counters: decisions=%d downgrades=%d ticks=%d", dec, down, ticks)
+	}
+}
+
+// TestEngineWideEvents: committed (non-dry-run) admissions emit one wide
+// event carrying the decision context and the SLO state at decision time;
+// dry-run admissions do not.
+func TestEngineWideEvents(t *testing.T) {
+	sink := obs.NewEventSink(32, 1, nil)
+	eng := tinyEngine(t, EngineConfig{Seed: 11, Events: sink})
+	slo, err := BuildSLO(SLOConfig{}, NewMetrics(), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.AttachSLO(slo)
+	eng.Advance(1)
+
+	res := eng.PlaceBatch(context.Background(), []PlaceRequest{{App: "gmm", DryRun: true}})
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	if sink.Seen() != 0 {
+		t.Fatalf("dry-run admission recorded a wide event (%d seen)", sink.Seen())
+	}
+
+	res = eng.PlaceBatch(context.Background(), []PlaceRequest{{App: "gmm", TraceID: obs.NewTraceID()}})
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+	if sink.Seen() != 1 {
+		t.Fatalf("committed admission recorded %d wide events, want 1", sink.Seen())
+	}
+	evs := sink.Snapshot()
+	ev := evs[0]
+	if ev.Kind != "admission" || ev.App != "gmm" || ev.TraceID == "" {
+		t.Errorf("wide event = %+v", ev)
+	}
+	if ev.Tier != "local" && ev.Tier != "remote" {
+		t.Errorf("wide event carries no tier: %+v", ev)
+	}
+	if ev.SLOState != "ok" {
+		t.Errorf("wide event SLO state = %q, want ok", ev.SLOState)
+	}
+	if ev.Class == "" || ev.Reason == "" {
+		t.Errorf("wide event missing class/reason: %+v", ev)
+	}
+}
+
+// TestReasonClassifiers pins the reason → SLO-counter mapping the sources
+// depend on.
+func TestReasonClassifiers(t *testing.T) {
+	for _, r := range []string{core.ReasonCapacity, core.ReasonFabricDegraded, core.ReasonCommitConflict} {
+		if !core.IsDowngradeReason(r) {
+			t.Errorf("IsDowngradeReason(%q) = false", r)
+		}
+		if core.IsPredictFailureReason(r) {
+			t.Errorf("IsPredictFailureReason(%q) = true", r)
+		}
+	}
+	for _, r := range []string{core.ReasonPredictError, core.ReasonBreakerOpen} {
+		if !core.IsPredictFailureReason(r) {
+			t.Errorf("IsPredictFailureReason(%q) = false", r)
+		}
+		if core.IsDowngradeReason(r) {
+			t.Errorf("IsDowngradeReason(%q) = true", r)
+		}
+	}
+}

@@ -5,15 +5,34 @@ import (
 )
 
 // Telemetry bundles the service's observability surfaces: the metric
-// registry behind /metrics, the request tracer behind /debug/traces, and
-// the decision audit log behind /debug/decisions. NewService builds one per
-// service; other packages (bus, models, thymesis, the runtime) register
-// their series on the same Registry so a single scrape covers the whole
-// process.
+// registry behind /metrics, the request tracer behind /debug/traces, the
+// decision audit log behind /debug/decisions, and — when armed via
+// AttachSLO/AttachEvents — the SLO evaluator behind /debug/slo and the
+// wide-event sink behind /debug/events. NewService builds one per service;
+// other packages (bus, models, thymesis, the runtime) register their series
+// on the same Registry so a single scrape covers the whole process.
 type Telemetry struct {
 	Registry *obs.Registry
 	Tracer   *obs.Tracer
 	Audit    *obs.AuditLog
+	// SLO and Events are nil until attached (before serving, like every
+	// registry mutation); NewHandler mounts their debug endpoints when set.
+	SLO    *obs.SLO
+	Events *obs.EventSink
+}
+
+// AttachSLO publishes the SLO evaluator on /debug/slo and its adrias_slo_*
+// series on /metrics. Call before serving.
+func (tel *Telemetry) AttachSLO(s *obs.SLO) {
+	tel.SLO = s
+	tel.Registry.MustRegister("adrias_slo", obs.CollectorFunc(s.WriteMetrics))
+}
+
+// AttachEvents publishes the wide-event sink on /debug/events and its
+// adrias_events_* counters on /metrics. Call before serving.
+func (tel *Telemetry) AttachEvents(sink *obs.EventSink) {
+	tel.Events = sink
+	sink.RegisterMetrics(tel.Registry)
 }
 
 func newTelemetry(met *Metrics, traceCap, auditCap int) *Telemetry {

@@ -12,6 +12,9 @@
 #   * the measured decision-flip rate is ≤ FLIP_BUDGET (default 0.01);
 #   * the quantized serve hot path is ≥ MIN_SPEEDUP× the float baseline
 #     (default 1.5; set MIN_SPEEDUP=0 to record without gating);
+#   * the armed-observability hot path (SLO engine + wide-event sink,
+#     BenchmarkServeHotPathQuantB8Events) also holds 0 allocs/op and costs
+#     ≤ EVENTS_BUDGET× the bare quantized path (default 1.05 — within 5%);
 #   * the sharded placement tier scales: 4 replica deciders sustain
 #     ≥ MIN_SCALE× the single-replica throughput (default 2.5) on the
 #     BenchmarkPlaceThroughputR{1,2,4} series at -cpu=4. The scaling gate
@@ -25,7 +28,7 @@
 # PRs' gate numbers.
 #
 # Env: OUT (default BENCH_quantfast.json), BENCHTIME (default 50x),
-#      FLIP_BUDGET, MIN_SPEEDUP, MIN_SCALE, PR_NUM.
+#      FLIP_BUDGET, MIN_SPEEDUP, MIN_SCALE, EVENTS_BUDGET, PR_NUM.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,6 +37,7 @@ BENCHTIME="${BENCHTIME:-50x}"
 FLIP_BUDGET="${FLIP_BUDGET:-0.01}"
 MIN_SPEEDUP="${MIN_SPEEDUP:-1.5}"
 MIN_SCALE="${MIN_SCALE:-2.5}"
+EVENTS_BUDGET="${EVENTS_BUDGET:-1.05}"
 NCPU="$(nproc 2>/dev/null || echo 1)"
 
 bench_txt="$(mktemp)"
@@ -42,7 +46,7 @@ trap 'rm -f "$bench_txt" "$flip_txt"' EXIT
 
 echo "== bench-gate: batch-8 quantized benchmarks (one core, $BENCHTIME) =="
 go test -run='^$' -cpu=1 -benchtime="$BENCHTIME" \
-  -bench='^(BenchmarkPerfPredictEachFloatB8|BenchmarkPerfPredictEachQuantB8|BenchmarkServeHotPathFloatB8|BenchmarkServeHotPathQuantB8)$' \
+  -bench='^(BenchmarkPerfPredictEachFloatB8|BenchmarkPerfPredictEachQuantB8|BenchmarkServeHotPathFloatB8|BenchmarkServeHotPathQuantB8|BenchmarkServeHotPathQuantB8Events)$' \
   ./internal/models ./internal/serve | tee "$bench_txt"
 
 echo "== bench-gate: sharded placement throughput (replicas 1/2/4, -cpu=4) =="
@@ -62,7 +66,8 @@ fi
 # Build BENCH_quantfast.json and apply the gates in one awk pass over the
 # benchmark lines. Names are stripped of the -<procs> suffix go test adds.
 awk -v out="$OUT" -v flip="$flip_rate" -v flip_budget="$FLIP_BUDGET" \
-    -v min_speedup="$MIN_SPEEDUP" -v min_scale="$MIN_SCALE" -v ncpu="$NCPU" '
+    -v min_speedup="$MIN_SPEEDUP" -v min_scale="$MIN_SCALE" \
+    -v events_budget="$EVENTS_BUDGET" -v ncpu="$NCPU" '
 /^Benchmark/ {
   name = $1
   sub(/-[0-9]+$/, "", name)
@@ -94,6 +99,11 @@ END {
   printf "  \"flip_budget\": %s,\n", flip_budget > out
   printf "  \"min_speedup\": %s,\n", min_speedup > out
 
+  qe = ns["BenchmarkServeHotPathQuantB8Events"]
+  events_overhead = (qs != "null" && qe != "null" && qs + 0 > 0) ? qe / qs : 0
+  printf "  \"serve_events_overhead\": %.3f,\n", events_overhead > out
+  printf "  \"events_budget\": %s,\n", events_budget > out
+
   r1 = ("BenchmarkPlaceThroughputR1" in pls) ? pls["BenchmarkPlaceThroughputR1"] + 0 : 0
   r2 = ("BenchmarkPlaceThroughputR2" in pls) ? pls["BenchmarkPlaceThroughputR2"] + 0 : 0
   r4 = ("BenchmarkPlaceThroughputR4" in pls) ? pls["BenchmarkPlaceThroughputR4"] + 0 : 0
@@ -109,6 +119,7 @@ END {
   failed = 0
   gated["BenchmarkPerfPredictEachQuantB8"] = 1
   gated["BenchmarkServeHotPathQuantB8"] = 1
+  gated["BenchmarkServeHotPathQuantB8Events"] = 1
   for (name in gated) {
     if (!(name in seen)) {
       printf "FAIL %s: benchmark did not run\n", name; failed = 1
@@ -129,6 +140,17 @@ END {
     } else {
       printf "ok   serve quant speedup %.2fx >= %.1fx (predict %.2fx)\n", \
         serve_speedup, min_speedup, predict_speedup
+    }
+  }
+  if (events_budget + 0 > 0) {
+    if (events_overhead <= 0) {
+      printf "FAIL armed-observability overhead could not be measured\n"; failed = 1
+    } else if (events_overhead > events_budget + 0) {
+      printf "FAIL armed-observability overhead %.3fx > budget %.2fx\n", \
+        events_overhead, events_budget; failed = 1
+    } else {
+      printf "ok   armed-observability overhead %.3fx <= budget %.2fx\n", \
+        events_overhead, events_budget
     }
   }
   if (r1 <= 0 || r4 <= 0) {

@@ -1,0 +1,168 @@
+#!/usr/bin/env bash
+# End-to-end SLO smoke test of the alerting layer: start adrias-serve with a
+# deterministic fault schedule and tightened SLO windows, drive load through
+# the adrias-bench chaos harness with the SLO assertion armed, and require:
+#
+#   - the downgrade-rate objective pages on /debug/slo while the fabric
+#     partition holds and clears again after recovery (bench exits non-zero
+#     otherwise),
+#   - the alert lifecycle is visible on /metrics (adrias_slo_* series with
+#     at least one recorded transition),
+#   - the wide-event admission log captured committed placements, both in
+#     the /debug/events ring and in the -event-log JSONL file,
+#   - adrias-watch -once renders a snapshot off the live service,
+#   - SIGTERM still drains cleanly after the run.
+#
+# The clock runs at 4 simulated seconds per wall second (-tick 250ms), so
+# the schedule (outage 4–44, flap 8–32) plays out in ~11 wall seconds; the
+# tightened windows (fast 10s/40s at burn 1.5) page inside the flap and
+# drain within the 24 s harness + grace. With ARTIFACT_DIR set, the scrapes
+# are saved there for upload as a CI artifact.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+port="${PORT:-7744}"
+tmp="$(mktemp -d)"
+scrapes="${ARTIFACT_DIR:-$tmp/scrapes}"
+mkdir -p "$scrapes"
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/adrias-serve" ./cmd/adrias-serve
+go build -o "$tmp/adrias-bench" ./cmd/adrias-bench
+go build -o "$tmp/adrias-watch" ./cmd/adrias-watch
+
+spec='predict-error@4+40;fabric-flap@8+24'
+slo='downgrade-rate:budget=0.05,fast=10/40@1.5,slow=60/120@1000'
+"$tmp/adrias-serve" -listen "127.0.0.1:$port" -tick 250ms \
+  -fault-spec "$spec" -breaker-threshold 3 -breaker-cooldown 8 \
+  -slo-spec "$slo" -event-log "$scrapes/events.jsonl" -event-sample 1 \
+  >"$tmp/serve.log" 2>&1 &
+pid=$!
+
+ready=""
+for _ in $(seq 1 120); do
+  if curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+    ready=1
+    break
+  fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "adrias-serve exited before becoming healthy:" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+  fi
+  sleep 1
+done
+if [ -z "$ready" ]; then
+  echo "adrias-serve did not become healthy in time:" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+fi
+
+# A short committed (non-dry-run) burst populates the wide-event log before
+# the faults land; the chaos load itself stays dry-run.
+"$tmp/adrias-bench" -target "http://127.0.0.1:$port" -n 40 -conc 4 \
+  -dry-run=false >"$scrapes/loadgen.txt" 2>&1 || {
+  echo "committed-load burst failed:" >&2
+  cat "$scrapes/loadgen.txt" >&2
+  exit 1
+}
+
+# The chaos harness exits non-zero unless the whole contract holds — and
+# with -assert-slo, unless downgrade-rate paged during the faults AND
+# cleared again within the grace window. This is the smoke's core gate.
+"$tmp/adrias-bench" -target "http://127.0.0.1:$port" -chaos \
+  -chaos-duration 24s -conc 6 \
+  -assert-slo downgrade-rate -slo-grace 30s >"$scrapes/chaos.txt" 2>&1 || {
+  echo "slo chaos harness failed:" >&2
+  cat "$scrapes/chaos.txt" >&2
+  exit 1
+}
+cat "$scrapes/chaos.txt"
+
+# The alert lifecycle must be visible on /metrics: per-objective series
+# present and the downgrade-rate objective transitioned at least twice
+# (page + clear).
+metrics="$(curl -fsS "http://127.0.0.1:$port/metrics")"
+echo "$metrics" >"$scrapes/metrics.txt"
+for series in adrias_slo_state adrias_slo_burn_rate_fast adrias_slo_burn_rate_slow \
+  adrias_slo_budget_remaining adrias_slo_transitions_total adrias_slo_evaluations_total \
+  adrias_events_seen_total adrias_events_recorded_total; do
+  # Grep the saved scrape, not `echo | grep -q`: under pipefail a large
+  # payload would turn grep's early exit into a SIGPIPE false failure.
+  grep -q "^$series" "$scrapes/metrics.txt" || {
+    echo "missing $series in /metrics" >&2
+    exit 1
+  }
+done
+transitions="$(awk '/^adrias_slo_transitions_total\{objective="downgrade-rate"\}/{print $2}' "$scrapes/metrics.txt")"
+if [ -z "$transitions" ] || [ "$transitions" -lt 2 ]; then
+  echo "downgrade-rate recorded ${transitions:-0} transitions on /metrics, want the page+clear pair" >&2
+  grep adrias_slo "$scrapes/metrics.txt" >&2
+  exit 1
+fi
+
+# The final SLO surface and the wide-event ring ship as artifacts.
+curl -fsS "http://127.0.0.1:$port/debug/slo" >"$scrapes/slo.json"
+curl -fsS "http://127.0.0.1:$port/debug/events?limit=100" >"$scrapes/events_ring.json"
+case "$(cat "$scrapes/slo.json")" in
+*'"downgrade-rate"'*) ;;
+*)
+  echo "/debug/slo does not list the downgrade-rate objective" >&2
+  exit 1
+  ;;
+esac
+
+# The committed burst must have produced wide events — in the ring and in
+# the JSONL file (one JSON object per line, kind "admission").
+case "$(cat "$scrapes/events_ring.json")" in
+*'"admission"'*) ;;
+*)
+  echo "/debug/events holds no admission wide events" >&2
+  exit 1
+  ;;
+esac
+if [ ! -s "$scrapes/events.jsonl" ]; then
+  echo "-event-log JSONL file is empty" >&2
+  exit 1
+fi
+if ! head -1 "$scrapes/events.jsonl" | python3 -c 'import json,sys; json.loads(sys.stdin.readline())' 2>/dev/null; then
+  # Fall back to a structural check when python3 is unavailable.
+  case "$(head -1 "$scrapes/events.jsonl")" in
+  '{'*'}') ;;
+  *)
+    echo "-event-log first line is not a JSON object:" >&2
+    head -1 "$scrapes/events.jsonl" >&2
+    exit 1
+    ;;
+  esac
+fi
+
+# The -once snapshot renders one frame off the live service.
+"$tmp/adrias-watch" -once -serve "http://127.0.0.1:$port" >"$scrapes/watch_once.txt" || {
+  echo "adrias-watch -once failed" >&2
+  cat "$scrapes/watch_once.txt" >&2
+  exit 1
+}
+grep -q 'slo overall=' "$scrapes/watch_once.txt" || {
+  echo "adrias-watch -once rendered no SLO frame:" >&2
+  cat "$scrapes/watch_once.txt" >&2
+  exit 1
+}
+
+# Nothing may have panicked under fault injection.
+if grep -qi 'panic' "$tmp/serve.log"; then
+  echo "panic in server log:" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+fi
+
+kill -TERM "$pid"
+wait "$pid" # non-zero (under set -e) if the drain was not clean
+pid=""
+cp "$tmp/serve.log" "$scrapes/serve.log"
+echo "slo smoke OK"
