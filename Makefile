@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-gate fmt vet serve-smoke chaos-smoke slo-smoke shard-smoke learn-smoke trace-overhead ci
+.PHONY: build test race bench bench-gate fmt vet serve-smoke chaos-smoke slo-smoke shard-smoke learn-smoke learn-shard-smoke trace-overhead ci
 
 build:
 	$(GO) build ./...
@@ -69,9 +69,15 @@ shard-smoke:
 learn-smoke:
 	./scripts/learn_smoke.sh
 
+## learn-shard-smoke: end-to-end smoke of generation-aware shards: serve
+## with -learn AND -replicas 4 -nodes 2, induce drift, and require the
+## promoted generation to reach every replica decider within one batch.
+learn-shard-smoke:
+	./scripts/learn_shard_smoke.sh
+
 ## trace-overhead: gate span recording on the batch-8 placement path at
 ## ≤ MAX_OVERHEAD_PCT (default 5) percent over the untraced baseline.
 trace-overhead:
 	./scripts/trace_overhead.sh
 
-ci: build fmt vet test race bench bench-gate serve-smoke chaos-smoke slo-smoke shard-smoke learn-smoke trace-overhead
+ci: build fmt vet test race bench bench-gate serve-smoke chaos-smoke slo-smoke shard-smoke learn-smoke learn-shard-smoke trace-overhead

@@ -57,9 +57,11 @@
 // local with reason "commit-conflict" when the headroom is gone. -nodes
 // sizes the simulated rack — each node carries its own ThymesisFlow fabric
 // and remote pool, and placements choose which pool to claim (responses and
-// /debug/decisions carry the node). -learn is incompatible with
-// -replicas > 1: hot-swap retargets the shared inference slot that
-// per-replica clones would bypass.
+// /debug/decisions carry the node). -learn composes with -replicas > 1:
+// each replica shard stamps the model generation it cloned from and
+// re-clones from the promoted live predictor within one batch of a hot
+// swap, so /debug/decisions records carry the generation ("model_gen") and
+// the deciding replica ("replica") per decision.
 //
 // The service always evaluates its SLO catalog (DESIGN.md §15) off the
 // testbed tick — admission latency, queue wait, downgrade rate,
@@ -167,9 +169,6 @@ func main() {
 	if *rackNodes < 1 {
 		fail("-nodes must be ≥ 1 (got %d)", *rackNodes)
 	}
-	if *learnOn && *replicas > 1 {
-		fail("-learn is incompatible with -replicas > 1: the hot-swap slot is bypassed by per-replica model clones")
-	}
 	if *eventSample < 1 {
 		fail("-event-sample must be ≥ 1 (got %d)", *eventSample)
 	}
@@ -263,6 +262,9 @@ func main() {
 	})
 	if *replicas > 1 || *rackNodes > 1 {
 		fmt.Printf("scale-out placement: %d replica deciders over a %d-node rack\n", *replicas, *rackNodes)
+		if learnCfg != nil {
+			fmt.Println("generation-aware shards: replicas re-clone from promoted models within one batch")
+		}
 	}
 	eng.RegisterMetrics(svc.Metrics())
 	// One registry feeds /metrics: serve + runtime series are pre-registered

@@ -162,6 +162,11 @@ type Placement struct {
 	// PredLocal/PredRem are the live decision's predictions (0 when the
 	// rule fell back without one).
 	PredLocal, PredRem float64
+	// Gen is the model generation that produced the decision (0: the
+	// current live generation). Replica shards set it from their cloned
+	// stack's stamp, so a batch decided just before a swap grades the
+	// generation that actually predicted it, not the one promoted since.
+	Gen int
 }
 
 // SwapEvent describes one promotion.
@@ -279,6 +284,16 @@ func New(cfg Config, deps Deps) *Loop {
 // Generation returns the live model generation (lock-free).
 func (l *Loop) Generation() int { return int(l.gen.Load()) }
 
+// Live returns the current generation and the float predictor serving it —
+// the source replica shards re-clone from after a promotion. Callers must
+// hold the engine lock (the loop's concurrency context) so the returned
+// predictor cannot be concurrently swapped or shadow-evaluated mid-clone.
+func (l *Loop) Live() (gen int, pred *core.Predictor) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.gen.Load()), l.live
+}
+
 // Expects reports whether a completion for instID would join (lock-cheap
 // guard so the engine skips history scans for ambient instances).
 func (l *Loop) Expects(instID int) bool {
@@ -312,13 +327,17 @@ func (l *Loop) OnBatch(window []mathx.Vector, batch []Placement) {
 		if p.Tier == memsys.TierRemote {
 			remote = 1
 		}
+		pgen := gen
+		if p.Gen > 0 {
+			pgen = p.Gen
+		}
 		pendings[i] = &pending{
 			instID:   p.InstID,
 			traceID:  p.TraceID,
 			app:      p.App,
 			class:    p.Class,
 			tier:     p.Tier,
-			gen:      gen,
+			gen:      pgen,
 			remote:   remote,
 			predLive: predForTier(p.PredLocal, p.PredRem, p.Tier),
 			window:   win,

@@ -281,6 +281,7 @@ func (m *PerfModel) predictEachChunk(samples []PerfSample, kind FutureKind, pred
 	futures := make([]mathx.Vector, len(samples))
 	groups := make(map[shape][]int)
 	order := make([]shape, 0, 1)
+	sigs := m.sigStore()
 	for i := range samples {
 		s := &samples[i]
 		f := s.Future(kind)
@@ -288,7 +289,7 @@ func (m *PerfModel) predictEachChunk(samples []PerfSample, kind FutureKind, pred
 			errs[i] = fmt.Errorf("models: sample %s missing %v future", s.App, kind)
 			continue
 		}
-		sig, ok := m.sigs.Get(s.App)
+		sig, ok := sigs.Get(s.App)
 		if !ok {
 			errs[i] = fmt.Errorf("models: no signature for %q", s.App)
 			continue
@@ -332,13 +333,14 @@ func (m *PerfModel) batchStep(samples []PerfSample, trainIdx []int) func([]int) 
 		order := make([]shape, 0, 1)
 		sigSteps := make([][]mathx.Vector, len(shard))
 		futures := make([]mathx.Vector, len(shard))
+		sigs := m.sigStore()
 		for j, pi := range shard {
 			s := &samples[trainIdx[pi]]
 			f := s.Future(m.Cfg.TrainFuture)
 			if m.Cfg.TrainFuture != FutureNone && f == nil {
 				return 0, fmt.Errorf("models: sample %s missing %v future", s.App, m.Cfg.TrainFuture)
 			}
-			sig, ok := m.sigs.Get(s.App)
+			sig, ok := sigs.Get(s.App)
 			if !ok {
 				return 0, fmt.Errorf("models: no signature for %q", s.App)
 			}

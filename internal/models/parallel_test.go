@@ -27,8 +27,8 @@ func legacyPerfFit(t *testing.T, m *PerfModel, samples []PerfSample, trainIdx []
 		}
 		targets = append(targets, mathx.Vector{math.Log(s.Perf)})
 	}
-	for _, name := range m.sigs.Names() {
-		sig, _ := m.sigs.Get(name)
+	for _, name := range m.sigStore().Names() {
+		sig, _ := m.sigStore().Get(name)
 		metricRows = append(metricRows, logSeq(sig.Steps)...)
 	}
 	m.normIn = dataset.FitNormalizer(metricRows)

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adrias/internal/dataset"
@@ -227,8 +228,12 @@ func DefaultPerfConfig() PerfConfig {
 // PerfModel is the universal performance predictor — one instance for all
 // BE applications and one for all LC applications (paper §V-B2).
 type PerfModel struct {
-	Cfg  PerfConfig
-	sigs *SignatureStore
+	Cfg PerfConfig
+	// sigs is atomic because the online learning loop Rebinds a promoted
+	// candidate to the live signature store while replica shards may still
+	// be predicting through it (DESIGN.md §13/§14): readers load the
+	// pointer once per operation, writers swing it with one Store.
+	sigs atomic.Pointer[SignatureStore]
 
 	encS    *nn.SeqEncoder // encodes the past system state S
 	encK    *nn.SeqEncoder // encodes the application signature k
@@ -242,7 +247,8 @@ type PerfModel struct {
 // NewPerfModel builds the twin-encoder architecture.
 func NewPerfModel(cfg PerfConfig, sigs *SignatureStore) *PerfModel {
 	rng := randutil.New(cfg.Seed)
-	m := &PerfModel{Cfg: cfg, sigs: sigs}
+	m := &PerfModel{Cfg: cfg}
+	m.sigs.Store(sigs)
 	m.encS = nn.NewSeqEncoder(memsys.NumMetrics, cfg.Hidden, 2, rng)
 	m.encK = nn.NewSeqEncoder(memsys.NumMetrics, cfg.Hidden, 2, rng.Split(7))
 	hiddenDim := 2*cfg.Hidden + 1 + memsys.NumMetrics
@@ -261,9 +267,12 @@ func (m *PerfModel) Params() []*nn.Param {
 	return append(out, m.head.Params()...)
 }
 
+// sigStore returns the current signature store (one atomic load).
+func (m *PerfModel) sigStore() *SignatureStore { return m.sigs.Load() }
+
 // forward runs one sample through the network. future may be nil.
 func (m *PerfModel) forward(s *PerfSample, future mathx.Vector, train bool) (mathx.Vector, error) {
-	sig, ok := m.sigs.Get(s.App)
+	sig, ok := m.sigStore().Get(s.App)
 	if !ok {
 		return nil, fmt.Errorf("models: no signature for %q", s.App)
 	}
@@ -290,9 +299,8 @@ func (m *PerfModel) backward(g mathx.Vector) {
 // and the fitted normalizers (all read-only after Fit). rng seeds the
 // clone's dropout streams.
 func (m *PerfModel) cloneWith(rng *randutil.Source) *PerfModel {
-	return &PerfModel{
+	c := &PerfModel{
 		Cfg:     m.Cfg,
-		sigs:    m.sigs,
 		encS:    m.encS.Clone(rng),
 		encK:    m.encK.Clone(rng),
 		head:    m.head.CloneSeq(rng),
@@ -300,6 +308,8 @@ func (m *PerfModel) cloneWith(rng *randutil.Source) *PerfModel {
 		normOut: m.normOut,
 		trained: m.trained,
 	}
+	c.sigs.Store(m.sigs.Load())
+	return c
 }
 
 // Clone returns a deep, independent copy of the model sharing no mutable
@@ -313,9 +323,10 @@ func (m *PerfModel) Clone() *PerfModel {
 // online learning loop fits a candidate against a point-in-time snapshot
 // (so training never races with live captures) and rebinds it to the live
 // store at promotion, so applications cold-started after the snapshot
-// resolve once their signatures land. Callers must serialize Rebind with
-// inference on the same instance.
-func (m *PerfModel) Rebind(sigs *SignatureStore) { m.sigs = sigs }
+// resolve once their signatures land. The swing is atomic: inference on a
+// replica shard may overlap a Rebind and sees either the old or the new
+// store, never a torn pointer.
+func (m *PerfModel) Rebind(sigs *SignatureStore) { m.sigs.Store(sigs) }
 
 // step returns the per-sample forward/backward closure the trainer drives:
 // sample pi is a position into the shuffled permutation over trainIdx.
@@ -356,8 +367,9 @@ func (m *PerfModel) Fit(samples []PerfSample, trainIdx []int) error {
 		// multiplicatively under interference), so train in log space.
 		targets = append(targets, mathx.Vector{math.Log(s.Perf)})
 	}
-	for _, name := range m.sigs.Names() {
-		sig, _ := m.sigs.Get(name)
+	sigs := m.sigStore()
+	for _, name := range sigs.Names() {
+		sig, _ := sigs.Get(name)
 		metricRows = append(metricRows, logSeq(sig.Steps)...)
 	}
 	m.normIn = dataset.FitNormalizer(metricRows)

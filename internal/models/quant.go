@@ -122,7 +122,7 @@ func QuantizePerf(m *PerfModel) *QuantPerfModel {
 	}
 	return &QuantPerfModel{
 		Hidden:   m.Cfg.Hidden,
-		sigs:     m.sigs,
+		sigs:     m.sigStore(),
 		encS:     nn.QuantizeSeqEncoder(m.encS),
 		encK:     nn.QuantizeSeqEncoder(m.encK),
 		head:     nn.QuantizeSequential(m.head),

@@ -1,0 +1,55 @@
+package models
+
+import (
+	"sync"
+	"testing"
+
+	"adrias/internal/dataset"
+)
+
+// TestRebindRaceWithPredict pins the promotion-vs-shard data race fixed by
+// making PerfModel's signature-store pointer atomic: the online learning
+// loop Rebinds a promoted candidate to the live store while replica shards
+// may still be predicting through the same instance. One goroutine hammers
+// Rebind between two equivalent stores while this goroutine runs batched
+// predictions; under -race the pre-fix plain pointer swing was flagged
+// against the loads in the batched forward.
+func TestRebindRaceWithPredict(t *testing.T) {
+	be, sigs := buildPerfFixtures(t)
+	cfg := tinyPerfConfig()
+	cfg.Epochs = 2
+	m := NewPerfModel(cfg, sigs)
+	train, _ := dataset.Split(len(be), 0.6, 13)
+	if err := m.Fit(be, train); err != nil {
+		t.Fatal(err)
+	}
+
+	alt := sigs.Clone()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				m.Rebind(alt)
+			} else {
+				m.Rebind(sigs)
+			}
+		}
+	}()
+
+	batch := be[:8]
+	for i := 0; i < 200; i++ {
+		if _, err := m.PredictBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

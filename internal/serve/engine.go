@@ -147,12 +147,19 @@ type SystemEngine struct {
 	viewVer uint64
 	// retry is the bounded drop-oldest ring of commit-conflict losers.
 	retry retryRing
+	// shards registers every replica shard minted by NewShard so a model
+	// promotion can invalidate their cloned stacks eagerly (recordSwap sets
+	// each shard's stale flag) and /metrics can report per-shard generations.
+	shardMu sync.Mutex
+	shards  []*engineShard
 	// Optimistic-commit telemetry, exported on /metrics.
 	conflicts      atomic.Uint64 // remote claims that lost the commit race
 	commitRetries  atomic.Uint64 // conflict losers re-decided from the ring
 	downgrades     atomic.Uint64 // losers downgraded to the safe local tier
 	retryDrops     atomic.Uint64 // losers evicted from the full retry ring
 	shardDecisions atomic.Uint64 // decisions made by replica shards
+	shardReclones  atomic.Uint64 // shard stacks re-cloned after a promotion
+	dupFinalizes   atomic.Uint64 // double-finalize attempts caught by the guard
 
 	// PlaceBatchInto scratch, reused across batches under mu.
 	batProfiles []*workload.Profile
@@ -366,9 +373,17 @@ type modelGenEvent struct {
 	SimTime        float64 `json:"sim_time_s"`
 }
 
-// recordSwap audits and publishes one model promotion. Invoked by the
-// learning loop at swap time, on the engine's lock context.
+// recordSwap audits and publishes one model promotion, and eagerly
+// invalidates every replica shard's cloned inference stack — the shards
+// re-clone from the promoted generation at the top of their next decide
+// batch, so staleness is bounded by the one batch already in flight.
+// Invoked by the learning loop at swap time, on the engine's lock context.
 func (e *SystemEngine) recordSwap(ev learn.SwapEvent) {
+	e.shardMu.Lock()
+	for _, s := range e.shards {
+		s.stale.Store(true)
+	}
+	e.shardMu.Unlock()
 	if e.audit != nil {
 		e.audit.Record(obs.DecisionRecord{
 			Time:      time.Now(),
@@ -492,6 +507,9 @@ type decisionEvent struct {
 	PredRem   float64 `json:"pred_remote,omitempty"`
 	ColdStart bool    `json:"cold_start,omitempty"`
 	Reason    string  `json:"reason,omitempty"`
+	// ModelGen is the generation of the model that produced the decision
+	// (0: learning loop disabled).
+	ModelGen int `json:"model_gen,omitempty"`
 }
 
 // sampleEvent is the bus payload for one monitoring sample.
@@ -582,6 +600,7 @@ func (e *SystemEngine) PlaceBatchInto(ctx context.Context, reqs []PlaceRequest, 
 					Tier:      in.Tier,
 					PredLocal: d.PredLocal,
 					PredRem:   d.PredRem,
+					Gen:       modelGen,
 				})
 			}
 			if e.events != nil {
@@ -637,6 +656,7 @@ func (e *SystemEngine) PlaceBatchInto(ctx context.Context, reqs []PlaceRequest, 
 				TraceID: reqs[i].TraceID, App: d.App, Class: d.Class.String(),
 				Tier: d.Tier.String(), Node: d.Node, PredLocal: d.PredLocal,
 				PredRem: d.PredRem, ColdStart: d.ColdStart, Reason: d.Reason,
+				ModelGen: modelGen,
 			})
 		}
 	}
@@ -855,6 +875,17 @@ func (e *SystemEngine) RegisterMetrics(m *Metrics) {
 		obs.WriteCounter(w, "adrias_serve_commit_downgrades_total", "Conflict losers downgraded to the safe local tier (reason commit-conflict).", e.downgrades.Load())
 		obs.WriteCounter(w, "adrias_serve_retry_dropped_total", "Conflict losers evicted from the full retry ring.", e.retryDrops.Load())
 		obs.WriteCounter(w, "adrias_serve_shard_decisions_total", "Placement decisions made by replica shards.", e.shardDecisions.Load())
+		obs.WriteCounter(w, "adrias_serve_shard_reclones_total", "Shard inference stacks re-cloned after a model promotion.", e.shardReclones.Load())
+		obs.WriteCounter(w, "adrias_serve_finalize_dups_total", "Double-finalize attempts on retry items caught by the claim guard.", e.dupFinalizes.Load())
+		e.shardMu.Lock()
+		if len(e.shards) > 0 {
+			name := "adrias_serve_shard_generation"
+			fmt.Fprintf(w, "# HELP %s Model generation each replica shard currently serves.\n# TYPE %s gauge\n", name, name)
+			for _, sh := range e.shards {
+				fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", name, sh.id, sh.gen.Load())
+			}
+		}
+		e.shardMu.Unlock()
 		obs.WriteCounter(w, "adrias_serve_decisions_total", "Placement decisions across all paths (engine + shards, dry runs included).", e.sloDecisions.Load())
 		obs.WriteCounter(w, "adrias_serve_downgrades_total", "Decisions downgraded to safe local by capacity, fabric, or commit pressure.", e.sloDowngrades.Load())
 		obs.WriteCounter(w, "adrias_serve_predict_failures_total", "Decisions produced by a failed or short-circuited prediction path.", e.sloPredictErrs.Load())

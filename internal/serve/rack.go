@@ -13,11 +13,13 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adrias/internal/cluster"
 	"adrias/internal/core"
 	"adrias/internal/faults"
+	"adrias/internal/learn"
 	"adrias/internal/mathx"
 	"adrias/internal/memsys"
 	"adrias/internal/obs"
@@ -96,9 +98,29 @@ type retryItem struct {
 	traceID  string
 	batch    int
 	attempts int
-	res      *PlaceResult // the owner's result slot; written only by the finalizer
-	done     chan struct{}
+	// gen/replica stamp the model generation that decided the claim and the
+	// 1-based shard that owns it, carried through to the audit record even
+	// when another replica's drain loop finalizes the item.
+	gen     int
+	replica int
+	// win is the monitoring window the decision saw (immutable snapshot
+	// rows), so a committed claim can register with the learning loop.
+	win  []mathx.Vector
+	res  *PlaceResult // the owner's result slot; written only by the finalizer
+	done chan struct{}
+	// finalized guards the deploy+publish+close sequence: eviction by a
+	// pusher and the work-steal drain are disjoint under the ring mutex
+	// today, but a close of an already-closed done would crash the whole
+	// server, so finalization is claimed with one CAS and duplicate claims
+	// are counted (adrias_serve_finalize_dups_total) instead of fatal.
+	finalized atomic.Bool
 }
+
+// claimFinalize claims the right to finalize the item; exactly one caller
+// wins. Claim only at the point of definite finalization (after a commit's
+// CanFit check passes, or on entry to the downgrade path) — a claimed item
+// that is not finalized would strand its owner on done forever.
+func (it *retryItem) claimFinalize() bool { return it.finalized.CompareAndSwap(false, true) }
 
 // retryRing is the bounded drop-oldest queue of commit-conflict losers.
 // Mirrors the decision-log retention fix: the ring never grows past its
@@ -151,6 +173,15 @@ type engineShard struct {
 	eng  *SystemEngine
 	orch *core.Orchestrator
 
+	// gen is the model generation the shard's cloned stack was built from
+	// (1 when the learning loop is off). Atomic: the owning goroutine
+	// re-stamps it on re-clone while /metrics reads it per scrape.
+	gen atomic.Int64
+	// stale is the eager swap signal: recordSwap sets it the moment a
+	// candidate is promoted, so the shard re-clones at the top of its next
+	// batch instead of discovering the mismatch by the generation compare.
+	stale atomic.Bool
+
 	// batch scratch, reused across batches.
 	profiles []*workload.Profile
 	idx      []int
@@ -163,15 +194,32 @@ type engineShard struct {
 // and fault/breaker wrappers sharing the engine's injector and breaker —
 // both concurrency-safe) and an independent orchestrator scratch. The
 // signature store is shared: it is internally locked, so in-situ captures
-// on the commit path become visible to every shard immediately. Returns
-// nil when the online learning loop is on — hot-swap retargets the
-// engine's base inference slot, which per-shard clones would bypass; the
-// service then falls back to the shared, serially-locked engine.
+// on the commit path become visible to every shard immediately. With the
+// online learning loop armed, the clone source is the loop's current live
+// generation and the shard re-clones whenever a promotion moves it
+// (maybeReclone), so hot-swap propagates to every replica within one batch.
 func (e *SystemEngine) NewShard(id int) Engine {
+	gen, pred := 1, e.orch.Pred
 	if e.learner != nil {
-		return nil
+		gen, pred = e.learner.Live()
 	}
-	pred := e.orch.Pred
+	clone, infer := e.shardStack(pred)
+	orch := core.NewOrchestrator(clone, e.watch, e.cfg.Beta)
+	orch.QoSMs = e.orch.QoSMs // read-only after engine construction
+	orch.Infer = infer
+	s := &engineShard{id: id, eng: e, orch: orch}
+	s.gen.Store(int64(gen))
+	e.shardMu.Lock()
+	e.shards = append(e.shards, s)
+	e.shardMu.Unlock()
+	return s
+}
+
+// shardStack clones pred's float models and wraps the shard-local inference
+// stack around them — quantized twin, fault injection, breaker — in the
+// same order as the engine's own stack, minus the swappable slot: a shard
+// tracks promotions by re-cloning, not by sharing the hot-swap pointer.
+func (e *SystemEngine) shardStack(pred *core.Predictor) (*core.Predictor, core.PerfInference) {
 	clone := &core.Predictor{Sigs: pred.Sigs}
 	if pred.Sys != nil {
 		clone.Sys = pred.Sys.Clone()
@@ -192,10 +240,33 @@ func (e *SystemEngine) NewShard(id int) Engine {
 	if e.brk != nil {
 		infer = faults.NewGuardedPredictor(infer, e.brk)
 	}
-	orch := core.NewOrchestrator(clone, e.watch, e.cfg.Beta)
-	orch.QoSMs = e.orch.QoSMs // read-only after engine construction
-	orch.Infer = infer
-	return &engineShard{id: id, eng: e, orch: orch}
+	return clone, infer
+}
+
+// maybeReclone rebuilds the shard's inference stack from the promoted live
+// generation when the learning loop has moved past the one this shard
+// cloned. The fast path — no swap since the last batch — is one atomic
+// flag load and one atomic generation compare. The re-clone itself runs
+// under the engine lock: cloning must not overlap a concurrent promotion
+// or the loop's shadow evaluation on the same model instances, and it
+// happens at most once per promotion per shard, off the steady-state path.
+func (s *engineShard) maybeReclone() {
+	e := s.eng
+	if e.learner == nil {
+		return
+	}
+	if !s.stale.Load() && int(s.gen.Load()) == e.learner.Generation() {
+		return
+	}
+	e.mu.Lock()
+	s.stale.Store(false)
+	gen, pred := e.learner.Live()
+	clone, infer := e.shardStack(pred)
+	e.mu.Unlock()
+	s.orch.Pred = clone
+	s.orch.Infer = infer
+	s.gen.Store(int64(gen))
+	e.shardReclones.Add(1)
 }
 
 // PlaceBatch implements Engine for one replica: optimistic decide against
@@ -204,6 +275,14 @@ func (e *SystemEngine) NewShard(id int) Engine {
 // before this returns, so results are always complete.
 func (s *engineShard) PlaceBatch(ctx context.Context, reqs []PlaceRequest) []PlaceResult {
 	e := s.eng
+	// Generation check once per decide batch: a promotion since the last
+	// batch re-clones the stack before deciding, so no batch is ever
+	// decided on a generation older than the one in flight at swap time.
+	s.maybeReclone()
+	gen := int(s.gen.Load())
+	if e.learner == nil {
+		gen = 0 // match the engine path: no loop, no generation stamp
+	}
 	results := make([]PlaceResult, len(reqs))
 	if cap(s.profiles) < len(reqs) {
 		s.profiles = make([]*workload.Profile, 0, len(reqs))
@@ -244,12 +323,13 @@ func (s *engineShard) PlaceBatch(ctx context.Context, reqs []PlaceRequest) []Pla
 		if reqs[i].DryRun {
 			finalizeResult(&results[i], ds[k])
 			e.shardDecisions.Add(1)
-			e.auditShardDecision(reqs[i].TraceID, ds[k], len(profiles))
+			e.auditShardDecision(reqs[i].TraceID, ds[k], len(profiles), gen, s.id+1)
 			continue
 		}
 		items = append(items, &retryItem{
 			prof: profiles[k], d: ds[k], traceID: reqs[i].TraceID,
-			batch: len(profiles), res: &results[i], done: make(chan struct{}),
+			batch: len(profiles), gen: gen, replica: s.id + 1,
+			win: view.win[node], res: &results[i], done: make(chan struct{}),
 		})
 	}
 	s.items = items[:0] // keep capacity; items escape to the ring below
@@ -328,15 +408,40 @@ func (e *SystemEngine) commitClaims(items []*retryItem) []*retryItem {
 			losers = append(losers, it)
 			continue
 		}
-		c.Deploy(it.prof, it.d.Tier)
+		if !it.claimFinalize() {
+			e.dupFinalizes.Add(1)
+			continue
+		}
+		in := c.Deploy(it.prof, it.d.Tier)
 		e.viewVer++
 		committed = true
+		e.learnPlacementLocked(it, in)
 		e.finalizeItemLocked(it)
 	}
 	if committed {
 		e.republishOccupancy()
 	}
 	return losers
+}
+
+// learnPlacementLocked registers one committed shard claim with the online
+// learning loop so its realized outcome joins back to the decision — the
+// sharded counterpart of the engine path's per-batch OnBatch. Called under
+// mu, never on the dry-run path.
+func (e *SystemEngine) learnPlacementLocked(it *retryItem, in *workload.Instance) {
+	if e.learner == nil || in == nil || in.Profile.Class == workload.Interference || len(it.win) == 0 {
+		return
+	}
+	e.learner.OnBatch(it.win, []learn.Placement{{
+		InstID:    in.ID,
+		TraceID:   it.traceID,
+		App:       it.d.App,
+		Class:     in.Profile.Class,
+		Tier:      in.Tier, // the tier actually deployed, capacity fallbacks included
+		PredLocal: it.d.PredLocal,
+		PredRem:   it.d.PredRem,
+		Gen:       it.gen,
+	}})
 }
 
 // commitOne commits a single retried claim; reports whether it won.
@@ -348,9 +453,14 @@ func (e *SystemEngine) commitOne(it *retryItem) bool {
 		e.conflicts.Add(1)
 		return false
 	}
-	c.Deploy(it.prof, it.d.Tier)
+	if !it.claimFinalize() {
+		e.dupFinalizes.Add(1)
+		return true // already resolved elsewhere; treat as won
+	}
+	in := c.Deploy(it.prof, it.d.Tier)
 	e.viewVer++
 	e.republishOccupancy()
+	e.learnPlacementLocked(it, in)
 	e.finalizeItemLocked(it)
 	return true
 }
@@ -381,6 +491,12 @@ func (s *engineShard) processRetry(it *retryItem) {
 // loaded node, audited with the commit-conflict reason. Local deploys
 // always commit, so this terminates every retry path.
 func (e *SystemEngine) downgradeLocal(it *retryItem) {
+	if !it.claimFinalize() {
+		// Already finalized by a commit or another downgrade path — the
+		// guard keeps the deploy and the done close from ever running twice.
+		e.dupFinalizes.Add(1)
+		return
+	}
 	it.d.Tier = memsys.TierLocal
 	it.d.Fallback = true
 	it.d.Reason = core.ReasonCommitConflict
@@ -389,9 +505,10 @@ func (e *SystemEngine) downgradeLocal(it *retryItem) {
 	}
 	e.downgrades.Add(1)
 	e.mu.Lock()
-	e.nodes[it.d.Node].Deploy(it.prof, memsys.TierLocal)
+	in := e.nodes[it.d.Node].Deploy(it.prof, memsys.TierLocal)
 	e.viewVer++
 	e.republishOccupancy()
+	e.learnPlacementLocked(it, in)
 	e.finalizeItemLocked(it)
 	e.mu.Unlock()
 }
@@ -403,7 +520,7 @@ func (e *SystemEngine) downgradeLocal(it *retryItem) {
 func (e *SystemEngine) finalizeItemLocked(it *retryItem) {
 	finalizeResult(it.res, it.d)
 	e.shardDecisions.Add(1)
-	e.auditShardDecision(it.traceID, it.d, it.batch)
+	e.auditShardDecision(it.traceID, it.d, it.batch, it.gen, it.replica)
 	if e.events != nil {
 		d := it.d
 		e.events.Record(obs.WideEvent{
@@ -421,6 +538,7 @@ func (e *SystemEngine) finalizeItemLocked(it *retryItem) {
 			ColdStart:   d.ColdStart,
 			Fallback:    d.Fallback,
 			BatchSize:   it.batch,
+			ModelGen:    it.gen,
 			SLOState:    e.sloStateLabel(),
 		})
 	}
@@ -440,9 +558,10 @@ func finalizeResult(r *PlaceResult, d core.Decision) {
 }
 
 // auditShardDecision records one shard decision on the audit log, the SLO
-// counters, and the bus (all concurrency-safe). Uses the lock-free SimNow
-// mirror so dry-run finalizers need not take the engine lock.
-func (e *SystemEngine) auditShardDecision(traceID string, d core.Decision, batch int) {
+// counters, and the bus (all concurrency-safe), stamped with the deciding
+// shard's model generation and 1-based replica id. Uses the lock-free
+// SimNow mirror so dry-run finalizers need not take the engine lock.
+func (e *SystemEngine) auditShardDecision(traceID string, d core.Decision, batch, gen, replica int) {
 	e.countDecision(d.Reason)
 	if e.audit != nil {
 		e.audit.Record(obs.DecisionRecord{
@@ -461,6 +580,8 @@ func (e *SystemEngine) auditShardDecision(traceID string, d core.Decision, batch
 			Fallback:    d.Fallback,
 			Reason:      d.Reason,
 			BatchSize:   batch,
+			ModelGen:    gen,
+			Replica:     replica,
 			SLOState:    e.sloStateLabel(),
 		})
 	}
@@ -469,6 +590,7 @@ func (e *SystemEngine) auditShardDecision(traceID string, d core.Decision, batch
 			TraceID: traceID, App: d.App, Class: d.Class.String(),
 			Tier: d.Tier.String(), Node: d.Node, PredLocal: d.PredLocal,
 			PredRem: d.PredRem, ColdStart: d.ColdStart, Reason: d.Reason,
+			ModelGen: gen,
 		})
 	}
 }

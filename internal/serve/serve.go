@@ -80,9 +80,11 @@ type Engine interface {
 // ShardedEngine is an Engine that can mint per-replica deciders. Each shard
 // is an Engine safe to run concurrently with its siblings (typically by
 // deciding optimistically over a shared snapshot and committing through a
-// sequencer). NewShard may return nil when sharding is unavailable — e.g.
-// the engine's inference stack cannot be cloned — in which case the service
-// falls back to routing that replica through the shared engine.
+// sequencer). NewShard may return nil when sharding is unavailable, in
+// which case the service falls back to routing that replica through the
+// shared engine. SystemEngine always shards: with the online learning loop
+// armed its shards are generation-aware, re-cloning from the promoted live
+// predictor within one batch of a hot swap (DESIGN.md §14).
 type ShardedEngine interface {
 	Engine
 	NewShard(id int) Engine

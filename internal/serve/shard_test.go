@@ -326,7 +326,11 @@ func TestMultiNodeEngineSpreadsPlacements(t *testing.T) {
 // — view load, node pick, batched inference — without mutating the rack, so
 // the numbers isolate placement-tier scaling from testbed churn.
 func benchPlaceThroughput(b *testing.B, replicas int) {
-	eng := tinyEngine(b, EngineConfig{Seed: 41, Quantized: true, Nodes: 2})
+	benchPlaceThroughputCfg(b, replicas, EngineConfig{Seed: 41, Quantized: true, Nodes: 2})
+}
+
+func benchPlaceThroughputCfg(b *testing.B, replicas int, cfg EngineConfig) {
+	eng := tinyEngine(b, cfg)
 	apps := []string{"gmm", "pagerank", "redis", "kmeans"}
 	var next atomic.Int64
 	var wg sync.WaitGroup

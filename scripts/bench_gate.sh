@@ -20,7 +20,14 @@
 #     BenchmarkPlaceThroughputR{1,2,4} series at -cpu=4. The scaling gate
 #     only applies when the bench box has ≥ 4 cores — replicas cannot
 #     outrun the clock on fewer — but the honest numbers (and the core
-#     count) are recorded either way.
+#     count) are recorded either way;
+#   * generation-aware shards are free when idle: with the learning loop
+#     armed but not swapping, the per-batch generation check costs the R4
+#     tier ≤ LEARN_BUDGET× the learn-off time (default 1.05 — within 5%,
+#     BenchmarkPlaceThroughputR4Learn vs BenchmarkPlaceThroughputR4). Like
+#     the scaling gate, it only applies with ≥ 4 cores — an oversubscribed
+#     box measures scheduler noise, not the check — but the honest ratio
+#     is recorded either way.
 #
 # Besides OUT, the results are mirrored into a numbered per-PR artifact
 # BENCH_<n>.json (n from PR_NUM, else one past the highest number already
@@ -28,7 +35,8 @@
 # PRs' gate numbers.
 #
 # Env: OUT (default BENCH_quantfast.json), BENCHTIME (default 50x),
-#      FLIP_BUDGET, MIN_SPEEDUP, MIN_SCALE, EVENTS_BUDGET, PR_NUM.
+#      FLIP_BUDGET, MIN_SPEEDUP, MIN_SCALE, EVENTS_BUDGET, LEARN_BUDGET,
+#      PR_NUM.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,6 +46,7 @@ FLIP_BUDGET="${FLIP_BUDGET:-0.01}"
 MIN_SPEEDUP="${MIN_SPEEDUP:-1.5}"
 MIN_SCALE="${MIN_SCALE:-2.5}"
 EVENTS_BUDGET="${EVENTS_BUDGET:-1.05}"
+LEARN_BUDGET="${LEARN_BUDGET:-1.05}"
 NCPU="$(nproc 2>/dev/null || echo 1)"
 
 bench_txt="$(mktemp)"
@@ -51,7 +60,7 @@ go test -run='^$' -cpu=1 -benchtime="$BENCHTIME" \
 
 echo "== bench-gate: sharded placement throughput (replicas 1/2/4, -cpu=4) =="
 go test -run='^$' -cpu=4 -benchtime="$BENCHTIME" \
-  -bench='^BenchmarkPlaceThroughputR(1|2|4)$' \
+  -bench='^BenchmarkPlaceThroughputR(1|2|4|4Learn)$' \
   ./internal/serve | tee -a "$bench_txt"
 
 echo "== bench-gate: decision-flip contract (fast scale) =="
@@ -67,7 +76,8 @@ fi
 # benchmark lines. Names are stripped of the -<procs> suffix go test adds.
 awk -v out="$OUT" -v flip="$flip_rate" -v flip_budget="$FLIP_BUDGET" \
     -v min_speedup="$MIN_SPEEDUP" -v min_scale="$MIN_SCALE" \
-    -v events_budget="$EVENTS_BUDGET" -v ncpu="$NCPU" '
+    -v events_budget="$EVENTS_BUDGET" -v learn_budget="$LEARN_BUDGET" \
+    -v ncpu="$NCPU" '
 /^Benchmark/ {
   name = $1
   sub(/-[0-9]+$/, "", name)
@@ -113,6 +123,12 @@ END {
   printf "  \"place_throughput_r4\": %.0f,\n", r4 > out
   printf "  \"place_scaling_r4\": %.3f,\n", scale4 > out
   printf "  \"min_scale\": %s,\n", min_scale > out
+  r4l = ("BenchmarkPlaceThroughputR4Learn" in pls) ? pls["BenchmarkPlaceThroughputR4Learn"] + 0 : 0
+  nsr4 = ns["BenchmarkPlaceThroughputR4"]; nsr4l = ns["BenchmarkPlaceThroughputR4Learn"]
+  learn_overhead = (nsr4 != "null" && nsr4l != "null" && nsr4 + 0 > 0) ? nsr4l / nsr4 : 0
+  printf "  \"place_throughput_r4_learn\": %.0f,\n", r4l > out
+  printf "  \"place_learn_overhead\": %.3f,\n", learn_overhead > out
+  printf "  \"learn_budget\": %s,\n", learn_budget > out
   printf "  \"bench_cpus\": %d\n}\n", ncpu > out
   close(out)
 
@@ -164,6 +180,20 @@ END {
   } else {
     printf "ok   placement scaling %.2fx >= %.1fx (r1=%.0f r2=%.0f r4=%.0f placements/s)\n", \
       scale4, min_scale, r1, r2, r4
+  }
+  if (learn_budget + 0 > 0) {
+    if (learn_overhead <= 0) {
+      printf "FAIL learn-armed R4 overhead could not be measured\n"; failed = 1
+    } else if (ncpu + 0 < 4) {
+      printf "skip learn-armed R4 gate: %d core(s) < 4 (recorded overhead %.3fx, r4learn=%.0f placements/s)\n", \
+        ncpu, learn_overhead, r4l
+    } else if (learn_overhead > learn_budget + 0) {
+      printf "FAIL learn-armed R4 overhead %.3fx > budget %.2fx (r4=%.0f r4learn=%.0f placements/s)\n", \
+        learn_overhead, learn_budget, r4, r4l; failed = 1
+    } else {
+      printf "ok   learn-armed R4 overhead %.3fx <= budget %.2fx (r4learn=%.0f placements/s)\n", \
+        learn_overhead, learn_budget, r4l
+    }
   }
   exit failed
 }' "$bench_txt"

@@ -1,0 +1,186 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of generation-aware shards: the online learning
+# loop (-learn) composed with the scale-out placement tier (-replicas 4
+# -nodes 2) — the pairing that was rejected at flag parse before the shards
+# became generation-aware. Start adrias-serve with both armed and a
+# drifting ambient program, drive deployed placements through the replica
+# deciders so their realized outcomes join back through the sharded commit
+# path, and require:
+#
+#   - the lifecycle completes under sharded admission: drift trips, a
+#     retrain runs, the candidate is promoted
+#     (adrias_learn_swaps_total ≥ 1, adrias_learn_model_generation ≥ 2),
+#   - the promotion propagates to every replica: all four
+#     adrias_serve_shard_generation{shard="i"} gauges reach ≥ 2 within the
+#     polling budget (each shard re-clones on its next batch after the
+#     swap), and adrias_serve_shard_reclones_total ≥ 4,
+#   - the propagation is auditable per decider: /debug/decisions holds the
+#     model-swap record plus, for every replica 1..4, a post-swap decision
+#     stamped with that replica and a promoted generation,
+#   - SIGTERM still drains cleanly with replicas racing the shutdown.
+#
+# With ARTIFACT_DIR set, the scrapes are saved there for upload as a CI
+# artifact.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+port="${PORT:-7754}"
+tmp="$(mktemp -d)"
+scrapes="${ARTIFACT_DIR:-$tmp/scrapes}"
+mkdir -p "$scrapes"
+pid=""
+bench=""
+cleanup() {
+  [ -n "$bench" ] && kill "$bench" 2>/dev/null || true
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/adrias-serve" ./cmd/adrias-serve
+go build -o "$tmp/adrias-bench" ./cmd/adrias-bench
+
+# Same lifecycle calibration as learn_smoke.sh (load under the ~0.08/sim-s
+# saturation knee, ramp 0.02 → 0.05 to trip the detector), plus the rack:
+# four replica deciders over two nodes.
+"$tmp/adrias-serve" -listen "127.0.0.1:$port" -tick 20ms -sim-per-tick 10 \
+  -seed 11 -quantized -learn -replicas 4 -nodes 2 \
+  -ambient 0.02 -ambient-ramp-to 0.05 -ambient-ramp-sec 2000 \
+  -learn-drift-threshold 0.05 -learn-drift-window 64 \
+  -learn-min-outcomes 16 -learn-shadow-warmup 10 \
+  -learn-cooldown 30 -learn-epochs 4 \
+  >"$tmp/serve.log" 2>&1 &
+pid=$!
+
+ready=""
+for _ in $(seq 1 120); do
+  if curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+    ready=1
+    break
+  fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "adrias-serve exited before becoming healthy:" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+  fi
+  sleep 1
+done
+if [ -z "$ready" ]; then
+  echo "adrias-serve did not become healthy in time:" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+fi
+
+# Deployed placements through the replica deciders: the sharded commit path
+# must feed the learner's join table or no outcomes ever arrive and the
+# loop never leaves Idle — this smoke is the end-to-end proof of that feed.
+"$tmp/adrias-bench" -target "http://127.0.0.1:$port" -n 4000 -conc 4 \
+  -rate 8 -dry-run=false -apps gmm,pagerank,kmeans,wordcount \
+  >"$scrapes/loadgen.txt" 2>&1 &
+bench=$!
+
+# Phase 1: poll until the loop promotes a candidate.
+swapped=""
+for _ in $(seq 1 240); do
+  curl -fsS "http://127.0.0.1:$port/metrics" >"$scrapes/metrics.txt" 2>/dev/null || true
+  swaps="$(awk '/^adrias_learn_swaps_total /{print $2}' "$scrapes/metrics.txt")"
+  if [ -n "$swaps" ] && [ "${swaps%.*}" -ge 1 ] 2>/dev/null; then
+    swapped=1
+    break
+  fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "adrias-serve died mid-run:" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+if [ -z "$swapped" ]; then
+  echo "no model swap within the polling budget; learn metrics:" >&2
+  grep '^adrias_learn' "$scrapes/metrics.txt" >&2 || true
+  exit 1
+fi
+
+# Phase 2: the load keeps flowing, so every shard decides post-swap batches
+# — poll until all four generation gauges reach ≥ 2 (each shard re-clones
+# on its first batch after the eager invalidation).
+propagated=""
+for _ in $(seq 1 120); do
+  curl -fsS "http://127.0.0.1:$port/metrics" >"$scrapes/metrics.txt" 2>/dev/null || true
+  if awk '
+    /^adrias_serve_shard_generation\{shard="[0-3]"\} / { if ($2 + 0 >= 2) up++ }
+    END { exit !(up == 4) }' "$scrapes/metrics.txt"; then
+    propagated=1
+    break
+  fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "adrias-serve died mid-run:" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+kill "$bench" 2>/dev/null || true
+wait "$bench" 2>/dev/null || true
+bench=""
+if [ -z "$propagated" ]; then
+  echo "promotion did not reach all four shards; shard metrics:" >&2
+  grep '^adrias_serve_shard' "$scrapes/metrics.txt" >&2 || true
+  exit 1
+fi
+
+# The propagation machinery must be visible in /metrics: every shard
+# re-cloned at least once, shards actually decided, and the double-finalize
+# guard saw no real duplicates go unfinalized (the counter renders).
+awk '
+/^adrias_learn_retrains_total /        { retrains = $2 }
+/^adrias_learn_model_generation /      { gen = $2 }
+/^adrias_serve_shard_decisions_total / { decisions = $2 }
+/^adrias_serve_shard_reclones_total /  { reclones = $2 }
+/^adrias_serve_finalize_dups_total /   { dups = $2; have_dups = 1 }
+END {
+  failed = 0
+  if (retrains + 0 < 1)   { print "FAIL retrains_total " retrains " < 1"; failed = 1 }
+  if (gen + 0 < 2)        { print "FAIL model_generation " gen " < 2"; failed = 1 }
+  if (decisions + 0 < 1)  { print "FAIL shard_decisions_total " decisions " < 1"; failed = 1 }
+  if (reclones + 0 < 4)   { print "FAIL shard_reclones_total " reclones " < 4 — some replica never re-cloned"; failed = 1 }
+  if (!have_dups)         { print "FAIL adrias_serve_finalize_dups_total missing from /metrics"; failed = 1 }
+  if (!failed) print "ok   propagation: generation " gen ", reclones " reclones ", shard decisions " decisions ", finalize dups " dups
+  exit failed
+}' "$scrapes/metrics.txt"
+
+# The swap and the per-replica propagation are auditable on
+# /debug/decisions. Records are flattened one-per-line so co-occurrence of
+# fields can be asserted within a single record (the endpoint
+# pretty-prints; `grep A | grep -q B` would SIGPIPE under pipefail).
+curl -fsS "http://127.0.0.1:$port/debug/decisions" >"$scrapes/decisions.json"
+tr -d ' \n' <"$scrapes/decisions.json" | sed 's/},{/}\
+{/g' >"$scrapes/decisions.flat"
+grep -q '"event":"model-swap"' "$scrapes/decisions.flat" || {
+  echo "missing model-swap record in /debug/decisions" >&2
+  exit 1
+}
+for r in 1 2 3 4; do
+  awk -v r="$r" '
+    $0 ~ ("\"replica\":" r "[,}]") {
+      if (match($0, /"model_gen":[0-9]+/) && substr($0, RSTART + 12, RLENGTH - 12) + 0 >= 2) found = 1
+    }
+    END { exit !found }' "$scrapes/decisions.flat" || {
+    echo "no post-swap decision audited for replica $r in /debug/decisions" >&2
+    grep -o "\"replica\":$r[,}]" "$scrapes/decisions.flat" | head -3 >&2 || true
+    exit 1
+  }
+done
+echo "ok   audit: model-swap recorded; replicas 1-4 each decided on a promoted generation"
+
+# Nothing may have panicked, and the drain must still be clean.
+if grep -qi 'panic' "$tmp/serve.log"; then
+  echo "panic in server log:" >&2
+  cat "$tmp/serve.log" >&2
+  exit 1
+fi
+kill -TERM "$pid"
+wait "$pid" # non-zero (under set -e) if the drain was not clean
+pid=""
+cp "$tmp/serve.log" "$scrapes/serve.log"
+echo "learn-shard smoke OK"
